@@ -1,0 +1,26 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: test bench bench-full experiments examples loc clean
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+experiments:
+	$(PYTHON) -m repro.experiments.cli all
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+loc:
+	find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

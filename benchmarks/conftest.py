@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Each ``test_*`` module regenerates one paper artifact through
+pytest-benchmark. Runs default to reduced parameter ranges so the
+whole suite finishes in minutes; set ``REPRO_BENCH_FULL=1`` to sweep
+the paper's complete ranges.
+
+pytest-benchmark's statistical machinery is pointed at the *host* cost
+of regenerating each artifact; the artifact itself (simulated times /
+throughputs) is attached to ``benchmark.extra_info`` and printed, so
+``pytest benchmarks/ --benchmark-only -s`` shows the paper-shaped
+tables.
+"""
+
+import os
+
+import pytest
+
+
+def full_sweep() -> bool:
+    """Whether to use the paper's full parameter ranges."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture
+def sweep_mode():
+    """Fixture exposing the sweep mode to benchmarks."""
+    return full_sweep()

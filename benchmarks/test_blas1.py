@@ -1,0 +1,17 @@
+"""Benchmark: the Section 4.5 BLAS1 observation."""
+
+from repro.experiments import blas1_check
+
+QUICK_SIZES = (1 << 16, 1 << 18, 1 << 20)
+FULL_SIZES = blas1_check.DEFAULT_SIZES
+
+
+def test_blas1_never_improves(benchmark, sweep_mode):
+    sizes = FULL_SIZES if sweep_mode else QUICK_SIZES
+    result = benchmark.pedantic(blas1_check.run, args=(sizes,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    improvements = result.series_of("improvement %")
+    # Paper: BLAS1 "never improves thanks to memory migration".
+    assert all(v < 5.0 for v in improvements), improvements
+    benchmark.extra_info["improvements"] = [round(v, 2) for v in improvements]

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 4 (migration vs memcpy throughput)."""
+
+from repro.experiments import fig4_throughput
+
+QUICK_PAGES = [1, 16, 64, 256, 1024, 4096]
+FULL_PAGES = [1, 4, 16, 64, 256, 1024, 4096, 16384]
+
+
+def test_fig4_throughput(benchmark, sweep_mode):
+    counts = FULL_PAGES if sweep_mode else QUICK_PAGES
+    result = benchmark.pedantic(fig4_throughput.run, args=(counts,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    move = result.series_of("move_pages")
+    nopatch = result.series_of("move_pages (no patch)")
+    memcpy = result.series_of("memcpy")
+    migrate = result.series_of("migrate_pages")
+    # Shape assertions straight from the paper.
+    assert 540 <= move[-1] <= 680, "patched move_pages ~600 MB/s"
+    assert 700 <= migrate[-1] <= 860, "migrate_pages ~780 MB/s"
+    assert 1600 <= memcpy[-1] <= 2000, "memcpy ~1.8 GB/s"
+    assert nopatch[-1] < move[-1] / 4, "unpatched collapses at large sizes"
+    # move_pages is buffer-size independent once past the base overhead.
+    assert abs(move[-1] - move[-2]) / move[-1] < 0.15
+    benchmark.extra_info["move_pages_mb_s"] = round(move[-1], 1)
+    benchmark.extra_info["migrate_pages_mb_s"] = round(migrate[-1], 1)

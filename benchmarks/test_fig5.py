@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 5 (next-touch throughput)."""
+
+from repro.experiments import fig5_nexttouch
+
+QUICK_PAGES = [4, 16, 64, 256, 1024]
+FULL_PAGES = [4, 16, 64, 256, 1024, 4096]
+
+
+def test_fig5_nexttouch(benchmark, sweep_mode):
+    counts = FULL_PAGES if sweep_mode else QUICK_PAGES
+    result = benchmark.pedantic(fig5_nexttouch.run, args=(counts,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    kernel = result.series_of("Kernel Next-touch")
+    user = result.series_of("User Next-touch")
+    nopatch = result.series_of("User Next-touch (no move pages patch)")
+    # Kernel NT is fast even for small buffers (paper: ~800 MB/s).
+    assert kernel[0] > 600
+    assert 700 <= kernel[-1] <= 900
+    # User NT is move_pages-bound: low at small sizes, ~600 at large.
+    assert user[0] < kernel[0] / 4
+    assert 480 <= user[-1] <= 680
+    # The unpatched variant collapses with size.
+    assert nopatch[-1] < user[-1] / 2
+    benchmark.extra_info["kernel_nt_mb_s"] = round(kernel[-1], 1)
+    benchmark.extra_info["user_nt_mb_s"] = round(user[-1], 1)

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 6 (next-touch cost breakdowns)."""
+
+from repro.experiments import fig6_breakdown
+
+QUICK_PAGES = [16, 256, 1024]
+FULL_PAGES = [4, 16, 64, 256, 1024, 4096]
+
+
+def test_fig6a_user_breakdown(benchmark, sweep_mode):
+    counts = FULL_PAGES if sweep_mode else QUICK_PAGES
+    result = benchmark.pedantic(fig6_breakdown.run_user, args=(counts,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    copy = result.series_of("move_pages() Copy Page")
+    control = result.series_of("move_pages() Control")
+    mark = result.series_of("mprotect() Next-Touch")
+    signal = result.series_of("Page-Fault and Signal Handler")
+    # Paper: at large sizes control is ~38-45 % of the move_pages cost
+    # and the mprotect/signal components are almost negligible.
+    assert 30 <= control[-1] <= 50
+    assert copy[-1] > 45
+    assert mark[-1] < 5
+    assert signal[-1] < 5
+    benchmark.extra_info["control_pct"] = round(control[-1], 1)
+
+
+def test_fig6b_kernel_breakdown(benchmark, sweep_mode):
+    counts = FULL_PAGES if sweep_mode else QUICK_PAGES
+    result = benchmark.pedantic(fig6_breakdown.run_kernel, args=(counts,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    copy = result.series_of("Copy Page")
+    control = result.series_of("Page-Fault and Migration Control")
+    madvise = result.series_of("madvise()")
+    # Paper: control ~20 %, copy dominating, madvise small.
+    assert 15 <= control[-1] <= 25
+    assert copy[-1] > 70
+    assert madvise[-1] < 10
+    benchmark.extra_info["control_pct"] = round(control[-1], 1)

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 7 (threaded migration scalability)."""
+
+from repro.experiments import fig7_scalability
+
+QUICK_PAGES = [64, 256, 1024, 8192]
+FULL_PAGES = [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768]
+
+
+def test_fig7_scalability(benchmark, sweep_mode):
+    counts = FULL_PAGES if sweep_mode else QUICK_PAGES
+    result = benchmark.pedantic(
+        fig7_scalability.run, args=(counts,), kwargs={"thread_counts": (1, 2, 4)}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    sync1 = result.series_of("Sync - 1 Thread")
+    sync4 = result.series_of("Sync - 4 Threads")
+    lazy1 = result.series_of("Lazy - 1 Thread")
+    lazy4 = result.series_of("Lazy - 4 Threads")
+    # Small buffers (first point, 256 KiB): threads do not help.
+    assert sync4[0] < sync1[0] * 1.35
+    assert lazy4[0] < lazy1[0] * 1.25
+    # Large buffers: sync gains ~50-60 % (we accept 40-90), lazy more.
+    gain = sync4[-1] / sync1[-1] - 1
+    assert 0.35 <= gain <= 0.95, f"sync 4-thread gain {gain:.2f}"
+    assert lazy4[-1] > sync4[-1]
+    assert 1050 <= lazy4[-1] <= 1500, "lazy peaks around ~1.3 GB/s"
+    benchmark.extra_info["sync4_mb_s"] = round(sync4[-1], 1)
+    benchmark.extra_info["lazy4_mb_s"] = round(lazy4[-1], 1)

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 8 (16 concurrent BLAS3 multiplications)."""
+
+from repro.experiments import fig8_matmul
+
+QUICK_SIZES = (128, 256, 512, 1024)
+FULL_SIZES = (128, 256, 512, 1024, 2048)
+
+
+def test_fig8_matmul(benchmark, sweep_mode):
+    sizes = FULL_SIZES if sweep_mode else QUICK_SIZES
+    result = benchmark.pedantic(fig8_matmul.run, args=(sizes,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    static = result.series_of("Static Allocation")
+    kernel = result.series_of("Next-Touch kernel")
+    user = result.series_of("Next-Touch user-space")
+    xs = list(result.xs)
+    i512 = xs.index(512)
+    # Below the 512 threshold migration is not worth it for the
+    # user-space scheme; from 512 on both migration schemes win.
+    assert user[0] >= static[0] * 0.95, "user NT should not win at N=128"
+    for i in range(i512, len(xs)):
+        assert kernel[i] < static[i], f"kernel NT must win at N={xs[i]}"
+        assert user[i] < static[i], f"user NT must win at N={xs[i]}"
+    # The gap keeps growing with N.
+    assert static[-1] / kernel[-1] > static[i512] / kernel[i512] * 0.9
+    benchmark.extra_info["static_s"] = [round(v, 3) for v in static]
+    benchmark.extra_info["kernel_nt_s"] = [round(v, 3) for v in kernel]

@@ -1,0 +1,41 @@
+"""Benchmark: replay the Figure 1/2 control flows and assert their order."""
+
+from repro.experiments import fig12_flows
+
+
+def test_fig1_user_flow_order(benchmark):
+    tracer = benchmark.pedantic(fig12_flows.trace_user_flow, rounds=1, iterations=1)
+    steps = fig12_flows.flow_steps(tracer, fig12_flows.USER_STEPS)
+    print()
+    print(fig12_flows.render_flow("Figure 1, as executed:", steps))
+
+    def index(fragment):
+        return next(i for i, s in enumerate(steps) if fragment in s)
+
+    # The paper's sequence: mark -> fault -> SIGSEGV -> move_pages
+    # (control/copy) -> restore -> retry.
+    assert index("marks next-touch") < index("page-fault")
+    assert index("page-fault") < index("SIGSEGV")
+    assert index("SIGSEGV") < index("move_pages() (enter kernel)")
+    assert index("enter kernel") < index("copy page")
+    assert index("copy page") < index("restores protection")
+    assert index("restores protection") < index("retry succeeds")
+
+
+def test_fig2_kernel_flow_order(benchmark):
+    tracer = benchmark.pedantic(fig12_flows.trace_kernel_flow, rounds=1, iterations=1)
+    steps = fig12_flows.flow_steps(tracer, fig12_flows.KERNEL_STEPS)
+    print()
+    print(fig12_flows.render_flow("Figure 2, as executed:", steps))
+
+    def index(fragment):
+        return next(i for i, s in enumerate(steps) if fragment in s)
+
+    # The paper's sequence: madvise -> fault -> migrate in handler
+    # (alloc/copy/free) -> retry. No signal, no second syscall.
+    assert index("madvise") < index("page-fault")
+    assert index("page-fault") < index("migrate page")
+    assert index("allocate new page") < index("copy page")
+    assert index("copy page") < index("free old page")
+    assert index("free old page") < index("retry succeeds")
+    assert not any("SIGSEGV" in s for s in steps)

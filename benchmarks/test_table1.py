@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 1 (threaded LU factorization)."""
+
+from repro.experiments import table1_lu
+
+QUICK_CONFIGS = ((2048, 64), (4096, 64), (4096, 512))
+DEFAULT_CONFIGS = ((4096, 64), (4096, 128), (4096, 256), (4096, 512), (8192, 512))
+
+
+def test_table1_lu(benchmark, sweep_mode):
+    configs = DEFAULT_CONFIGS if sweep_mode else QUICK_CONFIGS
+    result = benchmark.pedantic(table1_lu.run, args=(configs,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    imp = dict(zip(result.xs, result.series_of("improvement %")))
+    # The paper's two regimes: next-touch loses on page-sharing small
+    # blocks, wins on page-independent large ones.
+    small = [v for k, v in imp.items() if k.endswith("/64")]
+    large = [v for k, v in imp.items() if k.endswith("/512")]
+    assert all(v < 0 for v in small), f"64-blocks should thrash: {imp}"
+    assert all(v > 15 for v in large), f"512-blocks should win: {imp}"
+    benchmark.extra_info["improvements"] = {k: round(v, 1) for k, v in imp.items()}

@@ -1,0 +1,28 @@
+"""Benchmark: the beyond-the-paper what-if sweeps."""
+
+from repro.experiments import whatif_machines as wm
+
+
+def test_whatif_machine_shapes(benchmark, sweep_mode):
+    counts = [16, 256, 4096] if sweep_mode else [16, 256]
+    result = benchmark.pedantic(wm.run_machines, args=(counts,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    # The per-page mechanism cost is shape-independent.
+    for i in range(len(result.xs)):
+        values = [series[i] for series in result.series.values()]
+        assert max(values) - min(values) < 1.0
+
+
+def test_whatif_numa_factor_payoff(benchmark):
+    result = benchmark.pedantic(
+        wm.run_numa_factors, args=([1.2, 1.6, 2.0, 3.0],), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    passes = result.series_of("passes to amortize migration")
+    # Monotonic: the bigger the NUMA factor, the faster migration pays.
+    assert all(a > b for a, b in zip(passes, passes[1:]))
+    # At the paper's 1.2 factor it takes an order of magnitude more
+    # reuse than at factor 3.
+    assert passes[0] > 5 * passes[-1]

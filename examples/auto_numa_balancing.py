@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Automatic NUMA balancing: the paper's idea, without the hooks.
+
+The paper wires next-touch marking into the OpenMP runtime. This
+example runs the same "threads moved, data stranded" scenario three
+ways:
+
+* ``static``   — data stays where the master first-touched it;
+* ``manual``   — the application marks its buffers MADV_NEXTTOUCH
+                 after the threads move (the paper's usage);
+* ``autonuma`` — nobody does anything: a kernel-daemon-style scanner
+                 (``repro.ext.AutoNumaScanner``) periodically marks
+                 pages, and the hinting faults pull data to its users —
+                 the design mainline Linux adopted years later.
+
+Run: ``python examples/auto_numa_balancing.py``
+"""
+
+from repro import Madvise, PROT_RW, System
+from repro.ext import AutoNumaScanner
+from repro.util import MiB, PAGE_SIZE, render_table
+
+BUFFER = 8 * MiB
+WORKERS = 4  # one per node
+PASSES = 40
+
+
+def run(mode: str) -> dict:
+    system = System()
+    proc = system.create_process(f"balance-{mode}")
+    buffers: list[int] = []
+
+    def master(t):
+        for _ in range(WORKERS):
+            addr = yield from t.mmap(BUFFER, PROT_RW)
+            yield from t.touch(addr, BUFFER, batch=512, bytes_per_page=0)
+            buffers.append(addr)
+        if mode == "manual":
+            for addr in buffers:
+                yield from t.madvise(addr, BUFFER, Madvise.NEXTTOUCH)
+
+    m = system.spawn(proc, 0, master)
+    system.run_to(m.join())
+
+    scanner = None
+    if mode == "autonuma":
+        scanner = AutoNumaScanner(proc, scan_period_us=2_000.0, scan_pages=2048)
+        scanner.start()
+
+    def worker(rank):
+        def body(t):
+            addr = buffers[rank]
+            for _ in range(PASSES):
+                yield from t.touch(addr, BUFFER, batch=512)
+
+        return body
+
+    t0 = system.now
+    threads = [
+        system.spawn(proc, core, worker(rank))
+        for rank, core in enumerate((0, 4, 8, 12))  # one worker per node
+    ]
+    for t in threads:
+        system.run_to(t.join())
+    elapsed = (system.now - t0) / 1e6
+    if scanner is not None:
+        scanner.stop()
+        system.run()
+    hist = proc.addr_space.node_histogram()
+    local = sum(hist[n] for n in range(4)) and hist  # noqa: keep array
+    return {
+        "mode": mode,
+        "seconds": elapsed,
+        "placement": hist.tolist(),
+        "migrated": system.kernel.stats.pages_migrated,
+    }
+
+
+def main() -> None:
+    results = [run(m) for m in ("static", "manual", "autonuma")]
+    base = results[0]["seconds"]
+    rows = [
+        [
+            r["mode"],
+            round(r["seconds"], 3),
+            f"{(base / r['seconds'] - 1) * 100:+.1f}%",
+            r["migrated"],
+            str(r["placement"]),
+        ]
+        for r in results
+    ]
+    print(
+        render_table(
+            ["mode", "time (s)", "vs static", "pages migrated", "final placement"],
+            rows,
+            title=f"{WORKERS} workers (one per node) x {PASSES} passes over "
+            f"{BUFFER >> 20} MiB buffers first-touched on node 0",
+        )
+    )
+    print(
+        "\nThe scanner converges to the same distribution as the explicit"
+        "\nmadvise hook without any application changes — the trade-off is"
+        "\na few scan periods of remote access before the faults kick in."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Introspection tour: what the simulated machine can tell you.
+
+Runs a small mixed workload (first-touch, synchronous migration,
+next-touch) under an event tracer and prints every report the library
+offers: the Figure-3-style topology, a numastat view, the cost ledger,
+lock contention, link utilization, and an ASCII activity timeline.
+
+Run: ``python examples/introspection.py``
+"""
+
+from repro import Madvise, MemPolicy, PROT_RW, System
+from repro.report import system_report, topology_report
+from repro.sim.trace import Tracer
+from repro.util import MiB
+
+
+def main() -> None:
+    system = System()
+    print(topology_report(system.machine))
+    print()
+
+    tracer = Tracer()
+    tracer.attach(system.kernel)
+    proc = system.create_process("tour")
+    nbytes = 8 * MiB
+
+    def workload(t):
+        # Interleaved allocation, like the LU experiment's matrix.
+        addr = yield from t.mmap(
+            nbytes, PROT_RW, policy=MemPolicy.interleave(0, 1, 2, 3), name="workset"
+        )
+        yield from t.touch(addr, nbytes, batch=512)
+        # Consolidate on node 1 synchronously...
+        yield from t.move_range(addr, nbytes, 1)
+        # ...then let next-touch drag it to node 3.
+        yield from t.madvise(addr, nbytes, Madvise.NEXTTOUCH)
+        yield from t.migrate_to(12)
+        yield from t.touch(addr, nbytes, bytes_per_page=64, batch=64)
+
+    thread = system.spawn(proc, 0, workload)
+    system.run_to(thread.join())
+
+    print(system_report(system))
+    print()
+    print(tracer.timeline(width=64, groups=["fault", "access", "move_pages", "madvise", "nt"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The Table 1 workload at laptop scale: blocked LU, static vs
+next-touch.
+
+Runs the threaded LU factorization with 16 OpenMP-style threads over a
+few (matrix, block) configurations and prints the static /
+next-touch comparison, demonstrating both regimes of the paper's
+Table 1:
+
+* blocks narrower than 512 float64 elements share pages with their
+  neighbours — next-touch migration thrashes and loses;
+* page-independent, cache-spilling blocks (>= 512) make next-touch
+  clearly win by keeping every GEMM's operands local.
+
+Run: ``python examples/lu_factorization.py``
+"""
+
+from repro import System
+from repro.apps.lu import ThreadedLU
+from repro.util import improvement_percent, render_table
+
+
+def main() -> None:
+    configs = [(2048, 64), (2048, 512), (4096, 64), (4096, 512)]
+    rows = []
+    for n, b in configs:
+        times = {}
+        extras = {}
+        for policy in ("static", "nexttouch"):
+            system = System()
+            result = ThreadedLU(system, n, b, policy=policy).run()
+            times[policy] = result.elapsed_s
+            extras[policy] = result
+        rows.append(
+            [
+                f"{n}x{n}",
+                f"{b}x{b}",
+                "yes" if extras["nexttouch"].page_independent else "no",
+                round(times["static"], 2),
+                round(times["nexttouch"], 2),
+                f"{improvement_percent(times['static'], times['nexttouch']):+.1f}%",
+                extras["nexttouch"].pages_migrated,
+            ]
+        )
+    print(
+        render_table(
+            ["matrix", "block", "page-indep", "static (s)", "next-touch (s)", "improvement", "pages migrated"],
+            rows,
+            title="Threaded LU factorization, 16 OpenMP threads (simulated seconds)",
+        )
+    )
+    print(
+        "\nBlocks below 512 float64 elements share 4-KiB pages with their"
+        "\nneighbours: a single touch migrates other threads' data too, and"
+        "\nthe per-iteration madvise storm costs more than locality returns."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: allocate, place, migrate and next-touch a buffer.
+
+Walks through the library's core vocabulary on the paper's machine
+(4 sockets x 4 cores, one NUMA node each, Linux-2.6.27-like kernel):
+
+1. first-touch allocation (pages land on the faulting thread's node);
+2. synchronous migration with ``move_pages``;
+3. the paper's kernel next-touch: ``madvise(MADV_NEXTTOUCH)`` + touch;
+4. a ``numa_maps``-style report of where everything ended up.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import Madvise, PROT_RW, System
+from repro.numa import numa_maps
+from repro.util import MiB, PAGE_SIZE, fmt_throughput, mb_per_s
+
+
+def main() -> None:
+    system = System()
+    process = system.create_process("quickstart")
+    nbytes = 4 * MiB
+
+    def program(t):
+        # -- 1. first touch -------------------------------------------------
+        addr = yield from t.mmap(nbytes, PROT_RW, name="buffer")
+        yield from t.touch(addr, nbytes)
+        print(f"thread on core {t.core} (node {t.node}) first-touched {nbytes >> 20} MiB")
+        print("  placement:", process.addr_space.node_histogram().tolist())
+
+        # -- 2. synchronous move_pages --------------------------------------
+        t0 = system.now
+        status = yield from t.move_range(addr, nbytes, 2)
+        elapsed = system.now - t0
+        print(
+            f"move_pages -> node 2: {len(status)} pages in {elapsed:.0f} us "
+            f"({fmt_throughput(mb_per_s(nbytes, elapsed))})"
+        )
+        print("  placement:", process.addr_space.node_histogram().tolist())
+
+        # -- 3. kernel next-touch ------------------------------------------
+        marked = yield from t.madvise(addr, nbytes, Madvise.NEXTTOUCH)
+        print(f"madvise(NEXTTOUCH) marked {marked} pages")
+        yield from t.migrate_to(12)  # scheduler moves us to node 3
+        t0 = system.now
+        yield from t.touch(addr, nbytes, bytes_per_page=64)
+        elapsed = system.now - t0
+        print(
+            f"touched from node {t.node}: lazy migration took {elapsed:.0f} us "
+            f"({fmt_throughput(mb_per_s(nbytes, elapsed))})"
+        )
+        print("  placement:", process.addr_space.node_histogram().tolist())
+
+    thread = system.spawn(process, core=0, body=program)
+    system.run_to(thread.join())
+
+    print("\nnuma_maps:")
+    print(numa_maps(process))
+    stats = system.kernel.stats
+    print(
+        f"\nkernel stats: {stats.pages_first_touched} first-touched, "
+        f"{stats.pages_migrated} migrated, {stats.nt_faults} next-touch faults, "
+        f"{stats.tlb_shootdowns} TLB shootdowns"
+    )
+
+
+if __name__ == "__main__":
+    main()

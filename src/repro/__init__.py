@@ -1,0 +1,70 @@
+"""repro — reproduction of Goglin & Furmento, *Enabling
+High-Performance Memory Migration for Multithreaded Applications on
+Linux* (MTAAP'09 / IPDPS 2009), on a simulated NUMA machine.
+
+The public API is re-exported here; start with :class:`System` and the
+quickstart in ``examples/quickstart.py``.
+"""
+
+from .errors import (
+    ConfigurationError,
+    Errno,
+    OutOfMemory,
+    ReproError,
+    SegmentationFault,
+    SimulationError,
+    SyscallError,
+)
+from .hardware import CostModel, Machine, fast_uniform, opteron_8347he
+from .kernel import (
+    Kernel,
+    Madvise,
+    MemPolicy,
+    PolicyKind,
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+    PROT_WRITE,
+    SIGSEGV,
+    SimProcess,
+)
+from .sched import AffinityManager, CpusetManager, Placement, Scheduler, SimThread
+from .sim import Environment, MSEC, SEC, USEC
+from .system import System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "System",
+    "Machine",
+    "CostModel",
+    "opteron_8347he",
+    "fast_uniform",
+    "Kernel",
+    "SimProcess",
+    "SimThread",
+    "Scheduler",
+    "Placement",
+    "AffinityManager",
+    "CpusetManager",
+    "MemPolicy",
+    "PolicyKind",
+    "Madvise",
+    "Environment",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PROT_RW",
+    "SIGSEGV",
+    "ReproError",
+    "SimulationError",
+    "ConfigurationError",
+    "SyscallError",
+    "SegmentationFault",
+    "OutOfMemory",
+    "Errno",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Application workloads: LU factorization, independent BLAS3
+multiplications, BLAS1 streaming, memcpy streams."""
+
+from .lu import LUResult, ThreadedLU
+
+__all__ = ["ThreadedLU", "LUResult"]

@@ -1,0 +1,128 @@
+"""BLAS1 streaming workload (the paper's Section 4.5 observation).
+
+"We observed that the performance of BLAS1 operations (vector
+operations) never improves thanks to memory migration, probably
+because the processor cache hides the remote access latency and thus
+makes migration almost useless."
+
+Each worker repeatedly runs ``y += a * x`` over its own vectors,
+initialized remotely by the master. Because the access pattern is pure
+streaming, hardware prefetch hides latency across HyperTransport as
+well as locally, so the migrated and non-migrated runs finish in
+nearly the same time — minus the migration cost next-touch paid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..blas.contention import ContentionTracker
+from ..blas.costmodel import BlasCostModel, locality_from_nodes
+from ..errors import ConfigurationError
+from ..kernel.syscalls import Madvise
+from ..kernel.vma import PROT_RW
+from ..openmp.runtime import OpenMP
+from ..sched.scheduler import Placement
+from ..system import System
+
+__all__ = ["StreamingBlas1", "Blas1Result"]
+
+POLICIES = ("static", "nexttouch")
+
+
+@dataclass
+class Blas1Result:
+    """Outcome of one BLAS1 run."""
+
+    n_elems: int
+    policy: str
+    repeats: int
+    elapsed_us: float
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall time in seconds."""
+        return self.elapsed_us / 1e6
+
+
+class StreamingBlas1:
+    """Concurrent daxpy streams under static vs next-touch placement."""
+
+    def __init__(
+        self,
+        system: System,
+        n_elems: int,
+        *,
+        policy: str = "static",
+        num_threads: int = 16,
+        repeats: int = 16,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(f"policy must be one of {POLICIES}")
+        self.system = system
+        self.n_elems = n_elems
+        self.policy = policy
+        self.num_threads = num_threads
+        self.repeats = repeats
+        self.model = BlasCostModel.era_reference_blas(system.machine, dtype_size=8)
+        self.tracker = ContentionTracker(system.machine)
+
+    def run(self) -> Blas1Result:
+        """Execute and time the streaming passes."""
+        system = self.system
+        proc = system.create_process(f"blas1-{self.policy}-{self.n_elems}")
+        machine = system.machine
+        nbytes = self.n_elems * 8
+        buffers: list[list[int]] = []
+        box: dict = {}
+
+        def master(t):
+            for rank in range(self.num_threads):
+                pair = []
+                for name in ("x", "y"):
+                    addr = yield from t.mmap(nbytes, PROT_RW, name=f"{name}{rank}")
+                    yield from t.touch(addr, nbytes, batch=8192, bytes_per_page=0)
+                    pair.append(addr)
+                buffers.append(pair)
+            if self.policy == "nexttouch":
+                for pair in buffers:
+                    for addr in pair:
+                        yield from t.madvise(addr, nbytes, Madvise.NEXTTOUCH)
+
+            def worker(rank, wt):
+                for addr in buffers[rank]:
+                    vma = proc.addr_space.find_vma(addr)
+                    pages = np.arange(vma.npages, dtype=np.int64)
+                    yield from wt.touch_pages(vma, pages, batch=512)
+                nodes = np.concatenate(
+                    [
+                        proc.addr_space.find_vma(a).pt.node
+                        for a in buffers[rank]
+                    ]
+                )
+                locality = locality_from_nodes(nodes, machine.num_nodes)
+                token = self.tracker.enter(wt.node, list(locality))
+                try:
+                    for _ in range(self.repeats):
+                        cost = self.model.axpy(wt.node, self.n_elems, locality, self.tracker)
+                        yield wt.compute(cost.flop_us, tag="blas.flops")
+                        if cost.stall_us > 0:
+                            yield wt.compute(cost.stall_us, tag="blas.stall")
+                finally:
+                    self.tracker.exit(token)
+
+            omp = OpenMP(system, proc, self.num_threads, Placement.COMPACT)
+            t0 = system.now
+            yield from omp.parallel(worker)
+            box["elapsed"] = system.now - t0
+
+        thread = system.spawn(proc, 0, master, name="blas1-master")
+        system.run_to(thread.join())
+        return Blas1Result(
+            n_elems=self.n_elems,
+            policy=self.policy,
+            repeats=self.repeats,
+            elapsed_us=box["elapsed"],
+        )

@@ -1,0 +1,312 @@
+"""Threaded blocked LU factorization (the paper's Table 1 workload).
+
+The algorithm is the classic right-looking blocked LU: at step ``k``
+the diagonal block is factored, the row and column panels solved, and
+the trailing blocks updated with GEMMs — the panel and update loops
+parallelized OpenMP-style over a 16-thread team.
+
+Data policies, as in the paper:
+
+* ``static`` — the matrix is first-touched under an interleave-all
+  policy ("the best static allocation policy for this
+  memory-bandwidth intensive problem") and never moves;
+* ``nexttouch`` — same initial distribution, plus the paper's hook: at
+  the beginning of each iteration the master marks the trailing
+  submatrix ``MADV_NEXTTOUCH``, so blocks migrate to whichever thread
+  the schedule happens to hand them;
+* ``nexttouch-user`` — the mprotect/SIGSEGV library at block-row-band
+  granularity (the "matrix column" idea of Section 3.2). The paper
+  does not report it in Table 1 because "its overhead makes it
+  unusable for such small granularities" — running it here shows
+  exactly that.
+
+The float64 elements make a 512-wide block row exactly one 4-KiB page:
+below that, horizontally adjacent blocks share pages and next-touch
+migration thrashes (Table 1's negative rows); at and above it, each
+block follows its thread cleanly.
+
+``numeric=True`` additionally runs the real arithmetic on a NumPy
+matrix alongside the simulation so tests can check the factorization
+itself against ``scipy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..blas.blocks import BlockedMatrix
+from ..blas.contention import ContentionTracker
+from ..blas.costmodel import BlasCostModel, locality_from_nodes
+from ..errors import ConfigurationError
+from ..kernel.mempolicy import MemPolicy
+from ..kernel.syscalls import Madvise
+from ..kernel.vma import PROT_RW
+from ..openmp.runtime import OpenMP
+from ..sched.scheduler import Placement
+from ..system import System
+
+__all__ = ["ThreadedLU", "LUResult"]
+
+POLICIES = ("static", "nexttouch", "nexttouch-user")
+
+
+@dataclass
+class LUResult:
+    """Outcome of one factorization run."""
+
+    n: int
+    block: int
+    policy: str
+    num_threads: int
+    elapsed_us: float
+    init_us: float
+    pages_migrated: int
+    nt_faults: int
+    page_independent: bool
+
+    @property
+    def elapsed_s(self) -> float:
+        """Factorization time in seconds (the Table 1 quantity)."""
+        return self.elapsed_us / 1e6
+
+
+class ThreadedLU:
+    """One configured LU factorization experiment."""
+
+    def __init__(
+        self,
+        system: System,
+        n: int,
+        block: int,
+        *,
+        policy: str = "static",
+        num_threads: int = 16,
+        numeric: bool = False,
+        seed: int = 7,
+        touch_batch: int = 512,
+        blas_model: Optional[BlasCostModel] = None,
+        tracker: Optional[ContentionTracker] = None,
+        shuffle_threads: bool = True,
+        schedule: str = "static",
+    ) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(f"policy must be one of {POLICIES}")
+        if n % block != 0:
+            raise ConfigurationError("matrix size must be a multiple of the block size")
+        if schedule not in ("static", "dynamic"):
+            raise ConfigurationError("schedule must be 'static' or 'dynamic'")
+        #: OpenMP loop schedule. The paper's GCC default is static;
+        #: dynamic balances load better but randomizes block ownership
+        #: every iteration, changing how much next-touch migrates.
+        self.schedule = schedule
+        self.system = system
+        self.n = n
+        self.block = block
+        self.policy = policy
+        self.num_threads = num_threads
+        self.numeric = numeric
+        self.touch_batch = touch_batch
+        self.seed = seed
+        #: Unbound GOMP threads (the paper's GCC setup): work lands on
+        #: a different node region to region.
+        self.shuffle_threads = shuffle_threads
+        self.model = blas_model or BlasCostModel.era_reference_blas(system.machine, dtype_size=8)
+        self.tracker = tracker or ContentionTracker(system.machine)
+        self._data: Optional[np.ndarray] = None
+        self._original: Optional[np.ndarray] = None
+        if numeric:
+            rng = np.random.default_rng(seed)
+            a = rng.standard_normal((n, n))
+            # Diagonal dominance keeps no-pivot LU stable.
+            a += np.eye(n) * n
+            self._data = a
+            self._original = a.copy()
+
+    # ------------------------------------------------------------ numerics ---
+    def _num_getrf(self, k: int) -> None:
+        b = self.block
+        a = self._data[k * b : (k + 1) * b, k * b : (k + 1) * b]
+        for col in range(b - 1):
+            a[col + 1 :, col] /= a[col, col]
+            a[col + 1 :, col + 1 :] -= np.outer(a[col + 1 :, col], a[col, col + 1 :])
+
+    def _num_trsm_row(self, k: int, j: int) -> None:
+        b = self.block
+        lkk = np.tril(self._data[k * b : (k + 1) * b, k * b : (k + 1) * b], -1) + np.eye(b)
+        akj = self._data[k * b : (k + 1) * b, j * b : (j + 1) * b]
+        akj[:] = np.linalg.solve(lkk, akj)
+
+    def _num_trsm_col(self, k: int, i: int) -> None:
+        b = self.block
+        ukk = np.triu(self._data[k * b : (k + 1) * b, k * b : (k + 1) * b])
+        aik = self._data[i * b : (i + 1) * b, k * b : (k + 1) * b]
+        aik[:] = np.linalg.solve(ukk.T, aik.T).T
+
+    def _num_gemm(self, k: int, i: int, j: int) -> None:
+        b = self.block
+        self._data[i * b : (i + 1) * b, j * b : (j + 1) * b] -= (
+            self._data[i * b : (i + 1) * b, k * b : (k + 1) * b]
+            @ self._data[k * b : (k + 1) * b, j * b : (j + 1) * b]
+        )
+
+    def reconstruction_error(self) -> float:
+        """|| L*U - A || / || A || after a numeric run."""
+        if self._data is None or self._original is None:
+            raise ConfigurationError("reconstruction_error requires numeric=True")
+        lower = np.tril(self._data, -1) + np.eye(self.n)
+        upper = np.triu(self._data)
+        return float(
+            np.linalg.norm(lower @ upper - self._original) / np.linalg.norm(self._original)
+        )
+
+    # ------------------------------------------------------------ simulation --
+    def run(self) -> LUResult:
+        """Execute the factorization; returns timing and counters."""
+        system = self.system
+        proc = system.create_process(f"lu-{self.policy}-{self.n}x{self.block}")
+        machine = system.machine
+        result_box: dict = {}
+        migrated_before = system.kernel.stats.pages_migrated
+        nt_before = system.kernel.stats.nt_faults
+
+        unt = None
+        if self.policy == "nexttouch-user":
+            from ..nexttouch.user import UserNextTouch
+
+            unt = UserNextTouch(proc)
+
+        def master(t):
+            nbytes = self.n * self.n * 8
+            all_nodes = tuple(range(machine.num_nodes))
+            addr = yield from t.mmap(
+                nbytes, PROT_RW, policy=MemPolicy.interleave(*all_nodes), name="matrix"
+            )
+            vma = proc.addr_space.find_vma(addr)
+            init_start = system.now
+            yield from t.touch(addr, nbytes, batch=8192, bytes_per_page=0)
+            init_us = system.now - init_start
+            matrix = BlockedMatrix(addr, self.n, self.block, dtype_size=8)
+            band_bytes = self.block * self.n * 8  # one block-row band
+            if unt is not None:
+                unt.register(addr, nbytes, chunk_bytes=band_bytes)
+            omp = OpenMP(
+                system,
+                proc,
+                self.num_threads,
+                Placement.COMPACT,
+                shuffle_each_region=self.shuffle_threads,
+                seed=self.seed,
+            )
+            nb = matrix.nb
+
+            def block_op(thread, kind, k, i, j):
+                # Operand blocks of this kernel.
+                if kind == "getrf":
+                    blocks = [(k, k)]
+                elif kind == "trsm_row":
+                    blocks = [(k, k), (k, j)]
+                elif kind == "trsm_col":
+                    blocks = [(k, k), (i, k)]
+                else:  # gemm
+                    blocks = [(i, k), (k, j), (i, j)]
+                pages = matrix.blocks_pages(blocks)
+                if unt is not None:
+                    # The user-space scheme faults through SIGSEGV: one
+                    # signal per marked block-row band, each migrating
+                    # the whole band with move_pages. mprotect splits
+                    # and re-merges VMAs, so look placement up by band.
+                    band_nodes = []
+                    for band in sorted({i for i, _j in blocks}):
+                        baddr = addr + band * band_bytes
+                        yield from thread.touch(baddr, band_bytes, bytes_per_page=0)
+                        bvma = proc.addr_space.find_vma(baddr)
+                        first = bvma.page_index(baddr)
+                        count = band_bytes // 4096
+                        band_nodes.append(bvma.pt.node[first : first + count])
+                    locality = locality_from_nodes(
+                        np.concatenate(band_nodes), machine.num_nodes
+                    )
+                else:
+                    # Touching pulls next-touch-marked pages over.
+                    yield from thread.touch_pages(
+                        vma, pages, write=True, batch=self.touch_batch
+                    )
+                    locality = locality_from_nodes(
+                        vma.pt.node[pages], machine.num_nodes
+                    )
+                token = self.tracker.enter(thread.node, list(locality))
+                try:
+                    if kind == "getrf":
+                        cost = self.model.getrf(thread.node, self.block, locality, self.tracker)
+                    elif kind.startswith("trsm"):
+                        cost = self.model.trsm(thread.node, self.block, locality, self.tracker)
+                    else:
+                        cost = self.model.gemm(thread.node, self.block, locality, self.tracker)
+                    yield thread.compute(cost.flop_us, tag="blas.flops")
+                    if cost.stall_us > 0:
+                        yield thread.compute(cost.stall_us, tag="blas.stall")
+                finally:
+                    self.tracker.exit(token)
+                if self.numeric:
+                    if kind == "getrf":
+                        self._num_getrf(k)
+                    elif kind == "trsm_row":
+                        self._num_trsm_row(k, j)
+                    elif kind == "trsm_col":
+                        self._num_trsm_col(k, i)
+                    else:
+                        self._num_gemm(k, i, j)
+
+            t0 = system.now
+            for k in range(nb):
+                if self.policy == "nexttouch":
+                    maddr, mbytes = matrix.trailing_submatrix_range(k)
+                    if mbytes > 0:
+                        yield from t.madvise(maddr, mbytes, Madvise.NEXTTOUCH)
+                elif unt is not None:
+                    yield from unt.mark(t)
+
+                def diag(thread, k=k):
+                    yield from block_op(thread, "getrf", k, k, k)
+
+                yield from omp.single(diag)
+                panel = [("trsm_row", k, k, j) for j in range(k + 1, nb)]
+                panel += [("trsm_col", k, i, k) for i in range(k + 1, nb)]
+                if panel:
+
+                    def panel_body(thread, start, stop, tasks=panel):
+                        for kind, kk, i, j in tasks[start:stop]:
+                            yield from block_op(thread, kind, kk, i, j)
+
+                    yield from omp.parallel_for(len(panel), panel_body, schedule=self.schedule)
+                updates = [
+                    ("gemm", k, i, j)
+                    for i in range(k + 1, nb)
+                    for j in range(k + 1, nb)
+                ]
+                if updates:
+
+                    def update_body(thread, start, stop, tasks=updates):
+                        for kind, kk, i, j in tasks[start:stop]:
+                            yield from block_op(thread, kind, kk, i, j)
+
+                    yield from omp.parallel_for(len(updates), update_body, schedule=self.schedule)
+            result_box["elapsed"] = system.now - t0
+            result_box["init"] = init_us
+
+        thread = system.spawn(proc, 0, master, name="lu-master")
+        system.run_to(thread.join())
+        return LUResult(
+            n=self.n,
+            block=self.block,
+            policy=self.policy,
+            num_threads=self.num_threads,
+            elapsed_us=result_box["elapsed"],
+            init_us=result_box["init"],
+            pages_migrated=system.kernel.stats.pages_migrated - migrated_before,
+            nt_faults=system.kernel.stats.nt_faults - nt_before,
+            page_independent=BlockedMatrix(0, self.n, self.block, 8).blocks_page_independent(),
+        )

@@ -1,0 +1,154 @@
+"""16 concurrent independent BLAS3 multiplications (Figure 8).
+
+One thread per core, each multiplying its own N x N float32 matrices
+(C = A * B). The data is *initialized by the main thread* — so without
+migration it all sits on the master's node, and 15 of 16 workers
+compute against remote, contended memory. Policies:
+
+* ``static`` — leave the data on the master's node;
+* ``nexttouch`` — the master marks every buffer ``MADV_NEXTTOUCH``
+  before starting the workers, so each worker's first pass pulls its
+  matrices to its own node;
+* ``nexttouch-user`` — same, via the mprotect/SIGSEGV user library
+  (whose per-region overheads only amortize for large N — the paper's
+  512 crossover).
+
+The figure's quantity is the wall time until all 16 multiplications
+finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..blas.contention import ContentionTracker
+from ..blas.costmodel import BlasCostModel, locality_from_nodes
+from ..errors import ConfigurationError
+from ..kernel.syscalls import Madvise
+from ..kernel.vma import PROT_RW
+from ..nexttouch.user import UserNextTouch
+from ..sched.scheduler import Placement
+from ..system import System
+
+__all__ = ["ConcurrentMatmul", "MatmulResult"]
+
+POLICIES = ("static", "nexttouch", "nexttouch-user")
+
+
+@dataclass
+class MatmulResult:
+    """Outcome of one concurrent-multiplication run."""
+
+    n: int
+    policy: str
+    num_threads: int
+    elapsed_us: float
+    pages_migrated: int
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall time of the 16 concurrent multiplications (Fig. 8 y-axis)."""
+        return self.elapsed_us / 1e6
+
+
+class ConcurrentMatmul:
+    """The Figure 8 workload for one (N, policy) point."""
+
+    def __init__(
+        self,
+        system: System,
+        n: int,
+        *,
+        policy: str = "static",
+        num_threads: int = 16,
+        blas_model: Optional[BlasCostModel] = None,
+        tracker: Optional[ContentionTracker] = None,
+        touch_batch: int = 512,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(f"policy must be one of {POLICIES}")
+        self.system = system
+        self.n = n
+        self.policy = policy
+        self.num_threads = num_threads
+        self.touch_batch = touch_batch
+        # float32 matrices, as the paper's Figure 8 ("NxN floats"),
+        # through the same era BLAS profile as the LU runs.
+        self.model = blas_model or BlasCostModel.era_reference_blas(system.machine, dtype_size=4)
+        self.tracker = tracker or ContentionTracker(system.machine)
+
+    def run(self) -> MatmulResult:
+        """Execute and time the concurrent multiplications."""
+        system = self.system
+        proc = system.create_process(f"matmul-{self.policy}-{self.n}")
+        machine = system.machine
+        migrated_before = system.kernel.stats.pages_migrated
+        nbytes = self.n * self.n * 4
+        buffers: list[list[int]] = []  # [A, B, C] per worker
+        unt = UserNextTouch(proc) if self.policy == "nexttouch-user" else None
+        box: dict = {}
+
+        def master(t):
+            # Main thread allocates and first-touches everything: the
+            # classic "initialized in the wrong place" situation.
+            for rank in range(self.num_threads):
+                abc = []
+                for name in ("A", "B", "C"):
+                    addr = yield from t.mmap(nbytes, PROT_RW, name=f"{name}{rank}")
+                    yield from t.touch(addr, nbytes, batch=8192, bytes_per_page=0)
+                    abc.append(addr)
+                buffers.append(abc)
+            if self.policy == "nexttouch":
+                for abc in buffers:
+                    for addr in abc:
+                        yield from t.madvise(addr, nbytes, Madvise.NEXTTOUCH)
+            elif self.policy == "nexttouch-user":
+                for abc in buffers:
+                    for addr in abc:
+                        unt.register(addr, nbytes)
+                yield from unt.mark(t)
+
+            def worker(rank, wt):
+                vma_pages = []
+                for addr in buffers[rank]:
+                    vma = proc.addr_space.find_vma(addr)
+                    import numpy as np
+
+                    pages = np.arange(vma.npages, dtype=np.int64)
+                    # Pull marked pages over (or fault through the user
+                    # library's SIGSEGV path, whole region at a time).
+                    if unt is not None:
+                        yield from wt.touch(addr, nbytes, bytes_per_page=0)
+                    else:
+                        yield from wt.touch_pages(vma, pages, batch=self.touch_batch)
+                    vma_pages.append((vma, pages))
+                import numpy as np
+
+                nodes = np.concatenate([vma.pt.node[p] for vma, p in vma_pages])
+                locality = locality_from_nodes(nodes, machine.num_nodes)
+                token = self.tracker.enter(wt.node, list(locality))
+                try:
+                    cost = self.model.gemm(wt.node, self.n, locality, self.tracker)
+                    yield wt.compute(cost.flop_us, tag="blas.flops")
+                    if cost.stall_us > 0:
+                        yield wt.compute(cost.stall_us, tag="blas.stall")
+                finally:
+                    self.tracker.exit(token)
+
+            from ..openmp.runtime import OpenMP
+
+            omp = OpenMP(system, proc, self.num_threads, Placement.COMPACT)
+            t0 = system.now
+            yield from omp.parallel(worker)
+            box["elapsed"] = system.now - t0
+
+        thread = system.spawn(proc, 0, master, name="matmul-master")
+        system.run_to(thread.join())
+        return MatmulResult(
+            n=self.n,
+            policy=self.policy,
+            num_threads=self.num_threads,
+            elapsed_us=box["elapsed"],
+            pages_migrated=system.kernel.stats.pages_migrated - migrated_before,
+        )

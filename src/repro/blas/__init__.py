@@ -1,0 +1,15 @@
+"""Dense linear-algebra substrate: cost model, block geometry,
+contention tracking."""
+
+from .blocks import BlockedMatrix
+from .contention import ContentionTracker, StreamToken
+from .costmodel import BlasCostModel, OpCost, locality_from_nodes
+
+__all__ = [
+    "BlasCostModel",
+    "OpCost",
+    "locality_from_nodes",
+    "BlockedMatrix",
+    "ContentionTracker",
+    "StreamToken",
+]

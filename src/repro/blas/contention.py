@@ -1,0 +1,93 @@
+"""Interconnect and memory-controller contention tracking for BLAS ops.
+
+The large Table-1 wins in the paper come not only from the raw NUMA
+factor but from *congestion*: "multiple threads access each others'
+NUMA memory across a single HYPERTRANSPORT link" (Section 4.5). We
+track, per directed link and per memory controller, how many block
+operations are currently streaming across it; the BLAS cost model turns
+those counts into latency inflation and bandwidth shares.
+
+This is a fluid approximation (counters, not per-byte simulation): a
+block operation registers its access streams for its duration, so
+overlapping operations see each other.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..hardware.topology import Machine
+
+__all__ = ["StreamToken", "ContentionTracker"]
+
+
+@dataclass
+class StreamToken:
+    """Undo record for one registered operation's streams."""
+
+    links: list[tuple[int, int]] = field(default_factory=list)
+    controllers: list[int] = field(default_factory=list)
+
+
+class ContentionTracker:
+    """Active-stream counters over links and memory controllers."""
+
+    def __init__(self, machine: Machine, congestion_alpha: float = 0.3) -> None:
+        self.machine = machine
+        #: Latency inflation per extra concurrent stream on a link.
+        self.congestion_alpha = congestion_alpha
+        self._link_streams: Counter[tuple[int, int]] = Counter()
+        self._controller_streams: Counter[int] = Counter()
+
+    # ------------------------------------------------------------ register ---
+    def enter(self, thread_node: int, nodes_accessed: list[int]) -> StreamToken:
+        """Register an operation reading from ``nodes_accessed``.
+
+        Every accessed node counts one stream on its memory controller;
+        every remote node adds one stream to each link on the route.
+        """
+        token = StreamToken()
+        for node in nodes_accessed:
+            self._controller_streams[node] += 1
+            token.controllers.append(node)
+            if node != thread_node:
+                for link in self.machine.interconnect.route(node, thread_node):
+                    self._link_streams[link] += 1
+                    token.links.append(link)
+        return token
+
+    def exit(self, token: StreamToken) -> None:
+        """Unregister a finished operation."""
+        for link in token.links:
+            self._link_streams[link] -= 1
+            if self._link_streams[link] <= 0:
+                del self._link_streams[link]
+        for node in token.controllers:
+            self._controller_streams[node] -= 1
+            if self._controller_streams[node] <= 0:
+                del self._controller_streams[node]
+
+    # ------------------------------------------------------------ queries ----
+    def congestion(self, src_node: int, dst_node: int) -> float:
+        """Latency inflation for a transfer ``src -> dst``.
+
+        1.0 when the route is otherwise idle; grows by
+        ``congestion_alpha`` per extra concurrent stream on the route's
+        busiest link.
+        """
+        if src_node == dst_node:
+            return 1.0
+        worst = 0
+        for link in self.machine.interconnect.route(src_node, dst_node):
+            worst = max(worst, self._link_streams.get(link, 0))
+        return 1.0 + self.congestion_alpha * max(worst - 1, 0)
+
+    def controller_share(self, node: int) -> float:
+        """Fair-share bandwidth (bytes/µs) of a node's controller."""
+        streams = max(1, self._controller_streams.get(node, 0))
+        return self.machine.cost.memory_controller_bw / streams
+
+    def active_link_streams(self) -> dict[tuple[int, int], int]:
+        """Snapshot of per-link stream counts (diagnostics)."""
+        return dict(self._link_streams)

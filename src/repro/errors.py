@@ -1,0 +1,78 @@
+"""Exception hierarchy and errno-style codes for the simulated system.
+
+The simulated kernel mirrors Linux error reporting: syscalls either
+raise :class:`SyscallError` carrying an errno-like code, or (for
+``move_pages``) return per-page status arrays that may contain negative
+errno values, exactly as the real system call does.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Errno(enum.IntEnum):
+    """Subset of Linux errno values used by the simulated syscalls."""
+
+    EPERM = 1
+    ENOENT = 2
+    ESRCH = 3
+    EINTR = 4
+    EIO = 5
+    ENOMEM = 12
+    EACCES = 13
+    EFAULT = 14
+    EBUSY = 16
+    EEXIST = 17
+    ENODEV = 19
+    EINVAL = 22
+    ENOSYS = 38
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency in the discrete-event simulation."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid machine/topology/cost-model configuration."""
+
+
+class SyscallError(ReproError):
+    """A simulated system call failed.
+
+    Attributes
+    ----------
+    errno:
+        The :class:`Errno` value, matching what Linux would return.
+    """
+
+    def __init__(self, errno: Errno, message: str = "") -> None:
+        self.errno = Errno(errno)
+        super().__init__(f"[{self.errno.name}] {message}" if message else self.errno.name)
+
+
+class SegmentationFault(ReproError):
+    """An unhandled invalid memory access (no SIGSEGV handler installed).
+
+    Mirrors the default SIGSEGV disposition: the faulting "process"
+    dies, which in the simulation surfaces as this exception escaping
+    from the thread body.
+    """
+
+    def __init__(self, address: int, write: bool, reason: str = "") -> None:
+        self.address = address
+        self.write = write
+        kind = "write" if write else "read"
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"segmentation fault: invalid {kind} at 0x{address:x}{detail}")
+
+
+class OutOfMemory(SyscallError):
+    """A physical frame allocation failed on every candidate node."""
+
+    def __init__(self, message: str = "no free frames") -> None:
+        super().__init__(Errno.ENOMEM, message)

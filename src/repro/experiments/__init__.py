@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+===========  =======================================================
+module       artifact
+===========  =======================================================
+fig4         Fig. 4 — migration vs memcpy throughput
+fig5         Fig. 5 — next-touch throughput (user/kernel)
+fig6         Fig. 6 — next-touch cost breakdowns (a: user, b: kernel)
+fig7         Fig. 7 — threaded migration scalability (sync vs lazy)
+fig8         Fig. 8 — 16 concurrent BLAS3 multiplications
+fig12_flows  Figs. 1-2 — the control flows, replayed from a trace
+table1       Table 1 — threaded LU factorization times
+blas1        Sec. 4.5 — BLAS1 never benefits from migration
+calibration  cost-model constants vs the paper's measured anchors
+whatif       beyond the paper: other machine shapes, NUMA factors
+===========  =======================================================
+"""
+
+from .common import ExperimentResult, default_page_counts, fresh_system, run_thread
+
+__all__ = ["ExperimentResult", "fresh_system", "run_thread", "default_page_counts"]

@@ -1,0 +1,50 @@
+"""Section 4.5's side observation: BLAS1 never benefits from migration.
+
+Streaming vector kernels prefetch well enough that remote latency is
+hidden; next-touch migration then only *costs* (the faults and copies)
+without buying anything. This experiment sweeps vector sizes and
+reports static vs next-touch times plus the improvement — expected to
+hover at or below zero everywhere, in contrast to the BLAS3 results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..apps.blas1 import StreamingBlas1
+from ..util.stats import improvement_percent
+from .common import ExperimentResult, fresh_system
+
+__all__ = ["run", "DEFAULT_SIZES"]
+
+#: Vector lengths (elements, float64).
+DEFAULT_SIZES: tuple[int, ...] = (1 << 16, 1 << 18, 1 << 20, 1 << 22)
+
+
+def run(sizes: Optional[Sequence[int]] = None, num_threads: int = 16) -> ExperimentResult:
+    """Regenerate the BLAS1 comparison."""
+    sizes = list(sizes) if sizes else list(DEFAULT_SIZES)
+    result = ExperimentResult(
+        experiment_id="blas1",
+        title="Section 4.5: BLAS1 streaming, static vs next-touch (seconds)",
+        x_label="vector elems",
+        xs=sizes,
+        series={"static (s)": [], "next-touch (s)": [], "improvement %": []},
+    )
+    for n in sizes:
+        times = {}
+        for policy in ("static", "nexttouch"):
+            system = fresh_system()
+            times[policy] = StreamingBlas1(
+                system, n, policy=policy, num_threads=num_threads
+            ).run().elapsed_s
+        result.series["static (s)"].append(times["static"])
+        result.series["next-touch (s)"].append(times["nexttouch"])
+        result.series["improvement %"].append(
+            improvement_percent(times["static"], times["nexttouch"])
+        )
+    result.notes.append(
+        "paper: BLAS1 performance 'never improves thanks to memory "
+        "migration' — prefetch hides the remote latency"
+    )
+    return result

@@ -1,0 +1,164 @@
+"""Calibration report: the cost model vs. the paper's anchors, on paper.
+
+Before trusting the simulated curves, one can check the arithmetic:
+most of the paper's headline numbers are closed-form functions of a
+handful of :class:`~repro.hardware.timing.CostModel` constants. This
+module derives them analytically (no simulation) and compares against
+the paper's measured anchors, so a changed constant is caught as a
+changed *identity*, not as a mysteriously shifted curve three layers
+up.
+
+Also provides a one-at-a-time sensitivity scan: how much each constant
+moves the key derived quantities — useful when re-calibrating for a
+different machine profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..hardware.timing import CostModel, opteron_8347he
+from ..util.tables import render_table
+from ..util.units import PAGE_SIZE
+
+__all__ = ["Anchor", "derive_anchors", "calibration_report", "sensitivity"]
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One derived quantity with the paper's measured value."""
+
+    name: str
+    derived: float
+    paper: float
+    unit: str
+    tolerance: float  #: acceptable relative deviation
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation from the paper's value."""
+        return (self.derived - self.paper) / self.paper
+
+    @property
+    def ok(self) -> bool:
+        """Whether the derived value sits within tolerance."""
+        return abs(self.deviation) <= self.tolerance
+
+
+def _move_pages_page_us(cm: CostModel) -> float:
+    """Per-page cost of patched move_pages: control + LRU halves +
+    local flush + copy."""
+    return (
+        cm.move_pages_page_control_us
+        + cm.lru_lock_hold_us
+        + cm.tlb_flush_local_us
+        + PAGE_SIZE / cm.kernel_page_copy_bw
+    )
+
+
+def _nt_page_us(cm: CostModel) -> float:
+    """Per-page cost of a kernel next-touch fault."""
+    return (
+        cm.fault_entry_us
+        + cm.nt_fault_control_us
+        + cm.nt_pcp_alloc_us
+        + cm.nt_pcp_free_us
+        + PAGE_SIZE / cm.kernel_page_copy_bw
+    )
+
+
+def derive_anchors(cm: CostModel | None = None) -> list[Anchor]:
+    """The closed-form anchors for a profile (default: the paper's)."""
+    cm = cm or opteron_8347he()
+    mp = _move_pages_page_us(cm)
+    nt = _nt_page_us(cm)
+    copy = PAGE_SIZE / cm.kernel_page_copy_bw
+    return [
+        Anchor("move_pages base overhead", cm.move_pages_base_us, 160.0, "us", 0.05),
+        Anchor("move_pages asymptotic throughput", PAGE_SIZE / mp, 600.0, "MB/s", 0.10),
+        Anchor("move_pages control share", 100 * (1 - copy / mp), 38.0, "%", 0.15),
+        Anchor("migrate_pages base overhead", cm.migrate_pages_base_us, 400.0, "us", 0.05),
+        Anchor(
+            "migrate_pages asymptotic throughput",
+            PAGE_SIZE
+            / (
+                cm.migrate_pages_page_control_us
+                + cm.lru_lock_hold_us
+                + cm.tlb_flush_local_us
+                + copy
+            ),
+            780.0,
+            "MB/s",
+            0.10,
+        ),
+        Anchor("kernel next-touch throughput", PAGE_SIZE / nt, 800.0, "MB/s", 0.10),
+        Anchor("kernel next-touch control share", 100 * (1 - copy / nt), 20.0, "%", 0.15),
+        Anchor("kernel page copy rate", cm.kernel_page_copy_bw, 1000.0, "MB/s", 0.05),
+        Anchor("memcpy between nodes", cm.memcpy_remote_bw, 1800.0, "MB/s", 0.05),
+        Anchor("NUMA factor, 1 hop", cm.numa_factor_1hop, 1.2, "x", 0.01),
+        Anchor("NUMA factor, 2 hops", cm.numa_factor_2hop, 1.4, "x", 0.01),
+        Anchor(
+            "threaded lazy migration ceiling", cm.migration_channel_bw, 1300.0, "MB/s", 0.10
+        ),
+    ]
+
+
+def calibration_report(cm: CostModel | None = None) -> str:
+    """Render the anchor table (derived vs. paper)."""
+    anchors = derive_anchors(cm)
+    rows = [
+        [
+            a.name,
+            round(a.derived, 2),
+            a.paper,
+            a.unit,
+            f"{a.deviation:+.1%}",
+            "ok" if a.ok else "OFF",
+        ]
+        for a in anchors
+    ]
+    return render_table(
+        ["anchor", "derived", "paper", "unit", "deviation", ""],
+        rows,
+        title="cost-model calibration vs the paper's measured anchors",
+    )
+
+
+#: Derived quantities the sensitivity scan watches.
+_WATCHED: dict[str, Callable[[CostModel], float]] = {
+    "move_pages MB/s": lambda cm: PAGE_SIZE / _move_pages_page_us(cm),
+    "kernel NT MB/s": lambda cm: PAGE_SIZE / _nt_page_us(cm),
+    "NT control %": lambda cm: 100
+    * (1 - (PAGE_SIZE / cm.kernel_page_copy_bw) / _nt_page_us(cm)),
+}
+
+
+def sensitivity(
+    constants: list[str] | None = None, *, bump: float = 0.10
+) -> dict[str, dict[str, float]]:
+    """One-at-a-time sensitivity: bump each constant by ``bump`` (10 %
+    default) and report the relative change of each watched quantity.
+
+    Returns ``{constant: {quantity: relative_change}}``.
+    """
+    base = opteron_8347he()
+    if constants is None:
+        constants = [
+            "kernel_page_copy_bw",
+            "move_pages_page_control_us",
+            "nt_fault_control_us",
+            "fault_entry_us",
+            "lru_lock_hold_us",
+            "tlb_flush_local_us",
+        ]
+    baseline = {name: fn(base) for name, fn in _WATCHED.items()}
+    out: dict[str, dict[str, float]] = {}
+    for const in constants:
+        value = getattr(base, const)
+        variant = base.replace(**{const: value * (1 + bump)})
+        out[const] = {
+            name: (fn(variant) - baseline[name]) / baseline[name]
+            for name, fn in _WATCHED.items()
+        }
+    return out

@@ -1,0 +1,160 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage (installed as ``repro-experiments`` or via ``python -m
+repro.experiments.cli``)::
+
+    repro-experiments fig4                 # quick sweep
+    repro-experiments fig7 --full          # the paper's full x-range
+    repro-experiments table1 --full        # includes the 16k/32k rows
+    repro-experiments all                  # everything, quick settings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import (
+    blas1_check,
+    fig4_throughput,
+    fig5_nexttouch,
+    fig6_breakdown,
+    fig7_scalability,
+    fig8_matmul,
+    fig12_flows,
+    table1_lu,
+)
+from .common import default_page_counts
+
+__all__ = ["main"]
+
+_QUICK_PAGES = [4, 16, 64, 256, 1024, 4096]
+
+
+def _run_fig4(full: bool):
+    counts = None if full else _QUICK_PAGES
+    return [fig4_throughput.run(counts)]
+
+
+def _run_fig5(full: bool):
+    counts = None if full else _QUICK_PAGES
+    return [fig5_nexttouch.run(counts)]
+
+
+def _run_fig6(full: bool):
+    counts = None if full else _QUICK_PAGES
+    return [fig6_breakdown.run_user(counts), fig6_breakdown.run_kernel(counts)]
+
+
+def _run_fig7(full: bool):
+    counts = default_page_counts(64, 32768) if full else [64, 256, 1024, 4096, 16384]
+    return [fig7_scalability.run(counts)]
+
+
+def _run_fig8(full: bool):
+    sizes = fig8_matmul.DEFAULT_SIZES if full else (128, 256, 512, 1024)
+    return [fig8_matmul.run(sizes)]
+
+
+def _run_table1(full: bool):
+    return [table1_lu.run(full=full)]
+
+
+class _TextResult:
+    """Adapter so pre-rendered text flows fit the runner protocol."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+
+    def render(self) -> str:
+        return self._text
+
+
+def _run_flows(full: bool):
+    return [_TextResult(fig12_flows.run())]
+
+
+def _run_fig3(full: bool):
+    from ..hardware.topology import Machine
+    from ..report import topology_report
+
+    return [_TextResult(topology_report(Machine.opteron_8347he_quad()))]
+
+
+def _run_whatif(full: bool):
+    from . import whatif_machines
+
+    counts = [16, 256, 4096] if full else [16, 256]
+    return [
+        whatif_machines.run_machines(counts),
+        whatif_machines.run_numa_factors(),
+        whatif_machines.run_eras(),
+    ]
+
+
+def _run_calibration(full: bool):
+    from .calibration import calibration_report
+
+    return [_TextResult(calibration_report())]
+
+
+def _run_blas1(full: bool):
+    sizes = blas1_check.DEFAULT_SIZES if full else blas1_check.DEFAULT_SIZES[:3]
+    return [blas1_check.run(sizes)]
+
+
+_RUNNERS: dict[str, Callable[[bool], list]] = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "table1": _run_table1,
+    "blas1": _run_blas1,
+    "flows": _run_flows,
+    "calibration": _run_calibration,
+    "whatif": _run_whatif,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the simulated machine.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_RUNNERS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full parameter ranges (slower)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also save each result as <DIR>/<experiment_id>.csv",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        for result in _RUNNERS[name](args.full):
+            print(result.render())
+            print()
+            if args.csv is not None and hasattr(result, "save_csv"):
+                path = result.save_csv(args.csv)
+                print(f"[csv: {path}]", file=sys.stderr)
+        print(f"[{name} regenerated in {time.time() - start:.1f}s wall]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Figure 6: next-touch implementation cost breakdowns (percent).
+
+The percentages come straight out of the kernel's cost ledger — each
+component tag accumulated during the measured mark+touch phase —
+so the breakdown reflects what the simulated implementation actually
+spent, not a separate model.
+
+* 6(a) user-space: move_pages copy / move_pages control / mprotect
+  restore / page-fault + signal handler / mprotect next-touch mark;
+* 6(b) kernel: copy page / page-fault + migration control / madvise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .common import ExperimentResult, default_page_counts, fresh_system
+from .fig5_nexttouch import measure_kernel_nt, measure_user_nt
+
+__all__ = ["run_user", "run_kernel", "USER_GROUPS", "KERNEL_GROUPS"]
+
+#: Display-name -> ledger tag prefixes, user-space scheme (Fig. 6a).
+USER_GROUPS = {
+    "move_pages() Copy Page": ("move_pages.copy",),
+    "move_pages() Control": ("move_pages.base", "move_pages.control", "move_pages.scan"),
+    "mprotect() Restore": ("mprotect.restore",),
+    "Page-Fault and Signal Handler": ("fault.entry", "signal."),
+    "mprotect() Next-Touch": ("mprotect.mark",),
+}
+
+#: Display-name -> ledger tag prefixes, kernel scheme (Fig. 6b).
+KERNEL_GROUPS = {
+    "Copy Page": ("nt.copy",),
+    "Page-Fault and Migration Control": ("fault.entry", "nt.control", "nt.alloc", "nt.free"),
+    "madvise()": ("madvise",),
+}
+
+
+def _breakdown(measure, groups, counts, experiment_id, title) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label="pages",
+        xs=list(counts),
+        series={name: [] for name in groups},
+    )
+    for n in counts:
+        # The measure() helpers run a setup phase (mmap + first touch)
+        # before the timed mark+touch phase. Setup only produces
+        # access/fault.anon/syscall tags, none of which belong to a
+        # breakdown group, so filtering by the group prefixes isolates
+        # the measured phase without explicit ledger resets.
+        system = fresh_system()
+        measure(n, system=system)
+        fractions = _filtered_fractions(system.kernel.ledger, groups)
+        for name in groups:
+            result.series[name].append(fractions.get(name, 0.0))
+    return result
+
+
+def _filtered_fractions(ledger, groups) -> dict[str, float]:
+    """Percentages over *only* the tags belonging to some group."""
+    totals = {name: 0.0 for name in groups}
+    for tag, value in ledger.totals.items():
+        for name, prefixes in groups.items():
+            if any(tag.startswith(p) for p in prefixes):
+                totals[name] += value
+                break
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {name: 0.0 for name in groups}
+    return {name: 100.0 * v / grand for name, v in totals.items()}
+
+
+def run_user(page_counts: Optional[Sequence[int]] = None, patched: bool = True) -> ExperimentResult:
+    """Regenerate Figure 6(a): user-space next-touch breakdown (%)."""
+    counts = list(page_counts) if page_counts else default_page_counts(4, 4096)
+    return _breakdown(
+        lambda n, system: measure_user_nt(n, patched=patched, system=system),
+        USER_GROUPS,
+        counts,
+        "fig6a",
+        "Figure 6(a): user-space next-touch cost breakdown (%)",
+    )
+
+
+def run_kernel(page_counts: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Regenerate Figure 6(b): kernel next-touch breakdown (%)."""
+    counts = list(page_counts) if page_counts else default_page_counts(4, 4096)
+    return _breakdown(
+        lambda n, system: measure_kernel_nt(n, system=system),
+        KERNEL_GROUPS,
+        counts,
+        "fig6b",
+        "Figure 6(b): kernel next-touch cost breakdown (%)",
+    )

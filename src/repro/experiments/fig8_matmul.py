@@ -1,0 +1,52 @@
+"""Figure 8: 16 concurrent independent BLAS3 multiplications.
+
+Execution time (log scale in the paper) against matrix dimension for
+three placements: static (all data first-touched by the main thread),
+kernel next-touch, and user-space next-touch. The paper's reading:
+512 is where data locality becomes critical — from there on, both
+migration schemes clearly beat the static placement, and even the
+expensive user-space scheme pays for itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..apps.matmul import ConcurrentMatmul
+from .common import ExperimentResult, fresh_system
+
+__all__ = ["run", "SERIES", "DEFAULT_SIZES"]
+
+SERIES = ("Static Allocation", "Next-Touch kernel", "Next-Touch user-space")
+_POLICY = {
+    "Static Allocation": "static",
+    "Next-Touch kernel": "nexttouch",
+    "Next-Touch user-space": "nexttouch-user",
+}
+
+#: The paper's x axis: 128..2048 floats.
+DEFAULT_SIZES: tuple[int, ...] = (128, 256, 512, 1024, 2048)
+
+
+def run(sizes: Optional[Sequence[int]] = None, num_threads: int = 16) -> ExperimentResult:
+    """Regenerate Figure 8; series are wall seconds per matrix size."""
+    sizes = list(sizes) if sizes else list(DEFAULT_SIZES)
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Figure 8: 16 concurrent BLAS3 multiplications (seconds)",
+        x_label="N",
+        xs=sizes,
+        series={name: [] for name in SERIES},
+    )
+    for n in sizes:
+        for name in SERIES:
+            system = fresh_system()
+            bench = ConcurrentMatmul(
+                system, n, policy=_POLICY[name], num_threads=num_threads
+            )
+            result.series[name].append(bench.run().elapsed_s)
+    result.notes.append(
+        "paper target: migration becomes worthwhile around N=512; below "
+        "that the static placement is as good or better"
+    )
+    return result

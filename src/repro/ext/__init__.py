@@ -1,0 +1,35 @@
+"""Extensions: the paper's Section 6 future work, prototyped.
+
+* :mod:`repro.ext.hugepages` — 2 MiB mappings, huge next-touch and the
+  huge-page migration Linux of the era lacked;
+* :mod:`repro.ext.replication` — read-only page replication across
+  nodes ("local access performance from anywhere");
+* :mod:`repro.ext.shared_nt` — ``MADV_NEXTTOUCH`` on shared mappings;
+* :mod:`repro.ext.autonuma` — periodic automatic next-touch scanning
+  (the design mainline Linux later shipped as NUMA balancing).
+"""
+
+from .autonuma import AutoNumaScanner
+from .hugepages import (
+    PAGES_PER_HUGE,
+    huge_fault_in,
+    huge_mark_next_touch,
+    huge_migrate,
+    huge_touch,
+    mmap_huge,
+)
+from .replication import ReplicationManager
+from .shared_nt import enable_shared_next_touch, shared_next_touch_enabled
+
+__all__ = [
+    "AutoNumaScanner",
+    "PAGES_PER_HUGE",
+    "mmap_huge",
+    "huge_fault_in",
+    "huge_mark_next_touch",
+    "huge_touch",
+    "huge_migrate",
+    "ReplicationManager",
+    "enable_shared_next_touch",
+    "shared_next_touch_enabled",
+]

@@ -1,0 +1,19 @@
+"""Hardware model: topology, interconnect, caches, cost profiles."""
+
+from .caches import CacheModel
+from .interconnect import Interconnect, LinkFabric
+from .timing import CostModel, fast_uniform, modern_dual_socket, opteron_8347he
+from .topology import Core, Machine, NumaNode
+
+__all__ = [
+    "Machine",
+    "NumaNode",
+    "Core",
+    "Interconnect",
+    "LinkFabric",
+    "CacheModel",
+    "CostModel",
+    "opteron_8347he",
+    "modern_dual_socket",
+    "fast_uniform",
+]

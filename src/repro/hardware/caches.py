@@ -1,0 +1,47 @@
+"""Shared last-level cache model.
+
+The 8347HE has a 2 MB L3 shared by the four cores of a socket. The
+BLAS cost model only needs a coarse answer to one question: *what
+fraction of a kernel's logical memory traffic actually reaches DRAM?*
+We answer it with a working-set model rather than a line-accurate
+simulator — the paper's application results hinge on whether block
+worksets fit in L3 (BLAS3 blocking) and on streaming prefetch hiding
+remote latency (BLAS1), both of which this captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheModel"]
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Working-set cache model for one shared last-level cache."""
+
+    size: int  #: capacity in bytes
+    line: int = 64  #: line size in bytes
+
+    def miss_fraction(self, working_set: int, reuse_factor: float) -> float:
+        """Fraction of accesses that miss to DRAM.
+
+        ``working_set`` is the bytes live during the kernel;
+        ``reuse_factor`` is how many times each byte is logically
+        touched (e.g. ~N/b for a blocked GEMM panel). A fitting working
+        set turns all but the first touch into hits; an overflowing one
+        degrades smoothly toward miss-every-touch.
+        """
+        if reuse_factor < 1.0:
+            raise ValueError("reuse_factor must be >= 1")
+        if working_set <= 0:
+            return 0.0
+        fit = min(1.0, self.size / working_set)
+        # First touch always misses; subsequent touches hit with
+        # probability `fit` (the fraction of the set that stays cached).
+        compulsory = 1.0 / reuse_factor
+        return compulsory + (1.0 - compulsory) * (1.0 - fit)
+
+    def dram_traffic(self, logical_bytes: float, working_set: int, reuse_factor: float) -> float:
+        """Bytes that actually reach DRAM for ``logical_bytes`` of accesses."""
+        return logical_bytes * self.miss_fraction(working_set, reuse_factor)

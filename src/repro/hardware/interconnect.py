@@ -1,0 +1,122 @@
+"""Inter-node interconnect: topology graph, routing, distances.
+
+The paper's host connects four Opteron sockets with HyperTransport in
+a square (Figure 3): each node has two neighbours at one hop and one
+opposite node at two hops, giving the observed NUMA factors of 1.2 and
+1.4. The :class:`Interconnect` is a pure description (a networkx
+graph); the runtime bandwidth state lives in :class:`LinkFabric`, which
+binds one :class:`~repro.sim.resources.BandwidthResource` per directed
+link once a simulation environment exists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from ..sim.engine import Environment
+from ..sim.resources import BandwidthResource
+
+__all__ = ["Interconnect", "LinkFabric"]
+
+
+class Interconnect:
+    """Static description of the node-to-node link topology."""
+
+    def __init__(self, num_nodes: int, links: Iterable[tuple[int, int]], link_bw: float) -> None:
+        self.num_nodes = num_nodes
+        self.link_bw = float(link_bw)
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(num_nodes))
+        for a, b in links:
+            if not (0 <= a < num_nodes and 0 <= b < num_nodes) or a == b:
+                raise ConfigurationError(f"invalid link ({a}, {b})")
+            self.graph.add_edge(a, b)
+        if num_nodes > 1 and not nx.is_connected(self.graph):
+            raise ConfigurationError("interconnect graph is not connected")
+        # Precompute hop counts and routes (shortest paths; ties broken
+        # deterministically by networkx's BFS order).
+        self._paths: dict[tuple[int, int], list[int]] = {}
+        for src in range(num_nodes):
+            lengths, paths = nx.single_source_dijkstra(self.graph, src)
+            for dst in range(num_nodes):
+                self._paths[(src, dst)] = paths[dst]
+
+    @classmethod
+    def square(cls, link_bw: float) -> "Interconnect":
+        """Four nodes in a ring/square, as on the paper's host.
+
+        Links: 0-1, 0-2, 1-3, 2-3; nodes 0/3 and 1/2 are two hops apart.
+        """
+        return cls(4, [(0, 1), (0, 2), (1, 3), (2, 3)], link_bw)
+
+    @classmethod
+    def fully_connected(cls, num_nodes: int, link_bw: float) -> "Interconnect":
+        """All-pairs links (e.g. a 2-socket machine, or 4-socket with
+        diagonal HT links)."""
+        links = [(a, b) for a in range(num_nodes) for b in range(a + 1, num_nodes)]
+        return cls(num_nodes, links, link_bw)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of HT hops between two nodes (0 for local)."""
+        return len(self._paths[(src, dst)]) - 1
+
+    def route(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """Directed list of links traversed from ``src`` to ``dst``."""
+        path = self._paths[(src, dst)]
+        return list(zip(path[:-1], path[1:]))
+
+    def distance_matrix(self) -> list[list[int]]:
+        """SLIT-style distances: 10 local, 10 + 6*hops remote.
+
+        Matches what Linux exposes in ``/sys/devices/system/node/*/distance``
+        for this class of machine (10/16/22).
+        """
+        return [
+            [10 + 6 * self.hops(a, b) if a != b else 10 for b in range(self.num_nodes)]
+            for a in range(self.num_nodes)
+        ]
+
+
+class LinkFabric:
+    """Runtime bandwidth state: one resource per directed link.
+
+    Transfers along multi-hop routes are modelled by their bottleneck
+    link (store-and-forward pipelining makes per-hop serialization
+    negligible for page-sized messages).
+    """
+
+    def __init__(self, env: Environment, interconnect: Interconnect) -> None:
+        self.env = env
+        self.interconnect = interconnect
+        self._links: dict[tuple[int, int], BandwidthResource] = {}
+        for a, b in interconnect.graph.edges:
+            for (u, v) in ((a, b), (b, a)):
+                self._links[(u, v)] = BandwidthResource(
+                    env, interconnect.link_bw, name=f"link{u}->{v}"
+                )
+
+    def link(self, src: int, dst: int) -> BandwidthResource:
+        """The directed link resource between adjacent nodes."""
+        return self._links[(src, dst)]
+
+    def transfer(self, src: int, dst: int, nbytes: float, max_rate: float | None = None):
+        """Event that triggers when ``nbytes`` reach ``dst`` from ``src``.
+
+        ``src == dst`` (local copy) completes at ``max_rate`` without
+        touching any link. Multi-hop routes charge the first link of the
+        route (the fabric's links are symmetric, so the first hop is
+        the bottleneck representative).
+        """
+        if src == dst:
+            if max_rate is None:
+                raise ConfigurationError("local transfer needs an explicit rate")
+            return self.env.timeout(nbytes / max_rate)
+        hops = self.interconnect.route(src, dst)
+        return self._links[hops[0]].transfer(nbytes, max_rate=max_rate)
+
+    def utilizations(self) -> dict[tuple[int, int], float]:
+        """Mean utilization per directed link since t=0."""
+        return {edge: res.utilization() for edge, res in self._links.items()}

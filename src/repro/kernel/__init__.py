@@ -1,0 +1,92 @@
+"""Simulated Linux memory-management subsystem.
+
+The packages here mirror the real kernel's structure: frame allocators
+(per-node zones), page tables and VMAs, memory policies, the page-fault
+handler (including the paper's migrate-on-next-touch path), the
+synchronous migration engine, and the system-call layer with both the
+patched and unpatched ``move_pages``.
+"""
+
+from .accounting import Ledger
+from .addrspace import AddressSpace
+from .core import Kernel, KernelStats, SimProcess, SIGSEGV
+from .fault import SigInfo, deliver_signal, handle_fault, nt_fault_batch
+from .files import SimFile, file_fault_batch, mmap_file, page_cache_stats
+from .fork import cow_fault, sys_fork
+from .frames import FrameAllocator, node_of_frame
+from .mempolicy import MemPolicy, PolicyKind
+from .migrate import migrate_vma_pages
+from .pagetable import (
+    PTE_ACCESSED,
+    PTE_COW,
+    PTE_DIRTY,
+    PTE_NEXTTOUCH,
+    PTE_PRESENT,
+    PTE_WRITE,
+    PageTable,
+)
+from .swap import SwapDevice, attach_swap, sys_swap_out
+from .syscalls import (
+    Madvise,
+    sys_mlock,
+    sys_madvise,
+    sys_mbind,
+    sys_migrate_pages,
+    sys_mmap,
+    sys_move_pages,
+    sys_mprotect,
+    sys_munmap,
+    sys_get_mempolicy,
+    sys_set_mempolicy,
+)
+from .vma import PROT_NONE, PROT_READ, PROT_RW, PROT_WRITE, Vma
+
+__all__ = [
+    "Kernel",
+    "SimProcess",
+    "KernelStats",
+    "SIGSEGV",
+    "Ledger",
+    "AddressSpace",
+    "Vma",
+    "PageTable",
+    "FrameAllocator",
+    "node_of_frame",
+    "MemPolicy",
+    "PolicyKind",
+    "Madvise",
+    "SwapDevice",
+    "attach_swap",
+    "sys_swap_out",
+    "sys_fork",
+    "cow_fault",
+    "SimFile",
+    "mmap_file",
+    "file_fault_batch",
+    "page_cache_stats",
+    "SigInfo",
+    "handle_fault",
+    "nt_fault_batch",
+    "deliver_signal",
+    "migrate_vma_pages",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PROT_RW",
+    "PTE_PRESENT",
+    "PTE_WRITE",
+    "PTE_NEXTTOUCH",
+    "PTE_ACCESSED",
+    "PTE_DIRTY",
+    "PTE_COW",
+    "sys_mmap",
+    "sys_munmap",
+    "sys_mprotect",
+    "sys_mlock",
+    "sys_madvise",
+    "sys_move_pages",
+    "sys_migrate_pages",
+    "sys_mbind",
+    "sys_set_mempolicy",
+    "sys_get_mempolicy",
+]

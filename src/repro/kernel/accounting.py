@@ -1,0 +1,69 @@
+"""Cost accounting: a per-kernel ledger of where simulated time goes.
+
+Every charged operation carries a component tag (``"move_pages.copy"``,
+``"nt.control"``, ``"mprotect.mark"``, ...). Figure 6 of the paper — the
+next-touch cost-breakdown percentages — is produced directly from this
+ledger rather than from a separate model, so the breakdown always
+reflects what the simulated implementation actually did.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+__all__ = ["Ledger"]
+
+
+class Ledger:
+    """Accumulates (tag -> total µs, count) pairs."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = defaultdict(float)
+        self.counts: dict[str, int] = defaultdict(int)
+
+    def add(self, tag: str, duration_us: float) -> None:
+        """Record ``duration_us`` of work under ``tag``."""
+        self.totals[tag] += duration_us
+        self.counts[tag] += 1
+
+    def reset(self) -> None:
+        """Clear all entries (used between measured phases)."""
+        self.totals.clear()
+        self.counts.clear()
+
+    def total(self, *prefixes: str) -> float:
+        """Sum of all tags starting with any of ``prefixes``.
+
+        With no prefixes, the grand total.
+        """
+        if not prefixes:
+            return sum(self.totals.values())
+        return sum(v for k, v in self.totals.items() if k.startswith(prefixes))
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy of the totals."""
+        return dict(self.totals)
+
+    def fractions(self, groups: Mapping[str, Iterable[str]]) -> dict[str, float]:
+        """Percentage breakdown over named tag groups.
+
+        ``groups`` maps a display name to tag prefixes; tags matching no
+        group fall into ``"other"``. Returns percentages summing to 100
+        (when any time was recorded at all).
+        """
+        out: dict[str, float] = {name: 0.0 for name in groups}
+        out["other"] = 0.0
+        for tag, value in self.totals.items():
+            for name, prefixes in groups.items():
+                if any(tag.startswith(p) for p in prefixes):
+                    out[name] += value
+                    break
+            else:
+                out["other"] += value
+        grand = sum(out.values())
+        if grand > 0:
+            out = {k: 100.0 * v / grand for k, v in out.items()}
+        if out.get("other", 0.0) == 0.0:
+            out.pop("other", None)
+        return out

@@ -1,0 +1,310 @@
+"""Page-fault handling: demand-zero, kernel next-touch, SIGSEGV.
+
+This module implements Figure 2 of the paper — the kernel-based
+next-touch design — plus the ordinary Linux fault paths it coexists
+with:
+
+* **demand-zero (first-touch)**: an unpopulated page gets a frame on a
+  node chosen by the effective memory policy (local node by default);
+* **migrate-on-next-touch**: a PTE flagged by
+  ``madvise(MADV_NEXTTOUCH)`` is migrated to the faulting thread's
+  node inside the fault handler, copy-on-write style;
+* **protection fault**: the VMA forbids the access; SIGSEGV is
+  delivered to the user handler if one is installed (the user-space
+  next-touch scheme of Figure 1 lives on this path), otherwise the
+  access raises :class:`~repro.errors.SegmentationFault`.
+
+All functions are generators driven from the faulting thread's
+process; simulated time is charged through the kernel ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import SegmentationFault
+from ..util.units import PAGE_SIZE
+from .core import SIGSEGV, Kernel
+from .mempolicy import PolicyKind, candidate_nodes, interleave_nodes
+from .pagetable import PTE_COW, PTE_NEXTTOUCH
+from .vma import Vma
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sched.thread import SimThread
+
+__all__ = ["SigInfo", "handle_fault", "nt_fault_batch", "demand_zero_batch", "deliver_signal"]
+
+
+@dataclass(frozen=True)
+class SigInfo:
+    """What a SIGSEGV handler learns about the fault (``siginfo_t``)."""
+
+    signum: int
+    addr: int
+    write: bool
+    core: int
+
+
+def deliver_signal(kernel: Kernel, thread: "SimThread", siginfo: SigInfo):
+    """Deliver a signal to the thread's process handler.
+
+    Raises :class:`SegmentationFault` when no handler is installed or
+    when the handler itself faults (double fault), matching the default
+    disposition.
+    """
+    process = thread.process
+    handler = process.signal_handlers.get(siginfo.signum)
+    if handler is None or thread.in_signal_handler:
+        reason = "fault inside signal handler" if thread.in_signal_handler else "no handler"
+        raise SegmentationFault(siginfo.addr, siginfo.write, reason)
+    kernel.stats.signals_delivered += 1
+    yield kernel.charge("signal.delivery", kernel.cost.signal_delivery_us)
+    thread.in_signal_handler = True
+    try:
+        yield from handler(thread, siginfo)
+    finally:
+        thread.in_signal_handler = False
+
+
+def handle_fault(kernel: Kernel, thread: "SimThread", addr: int, write: bool):
+    """Service one page fault at ``addr``.
+
+    Returns after the fault is resolved (the caller retries the
+    access); raises :class:`SegmentationFault` for unrecoverable
+    accesses.
+    """
+    process = thread.process
+    yield kernel.charge("fault.entry", kernel.cost.fault_entry_us)
+    yield process.mmap_sem.acquire_read()
+    try:
+        resolved = process.addr_space.resolve(addr)
+        if resolved is None or not resolved[0].allows(write):
+            kernel.stats.prot_faults += 1
+            # Release mmap_sem before running user code, as the kernel
+            # does before delivering the signal.
+            process.mmap_sem.release_read()
+            try:
+                yield from deliver_signal(
+                    kernel, thread, SigInfo(SIGSEGV, addr, write, thread.core)
+                )
+            finally:
+                yield process.mmap_sem.acquire_read()
+            return
+        vma, idx = resolved
+        flags = int(vma.pt.flags[idx])
+        swap_table = getattr(vma.pt, "_swap_slots", None)
+        if flags & PTE_NEXTTOUCH:
+            yield from nt_fault_batch(kernel, thread, vma, np.asarray([idx]), entry_charged=True)
+        elif swap_table is not None and swap_table[idx] >= 0:
+            from .swap import swap_in_batch
+
+            yield from swap_in_batch(kernel, thread, vma, np.asarray([idx]))
+        elif vma.pt.frame[idx] < 0:
+            if getattr(vma, "_file", None) is not None:
+                from .files import file_fault_batch
+
+                yield from file_fault_batch(kernel, thread, vma, np.asarray([idx]))
+            else:
+                yield from _demand_zero(kernel, thread, vma, idx, write)
+        elif write and (flags & PTE_COW):
+            from .fork import cow_fault
+
+            yield from cow_fault(kernel, thread, vma, idx)
+        else:
+            # Present-but-insufficient bits (e.g. stale after an
+            # upgrade): fix them up under the PTL, cheaply.
+            ptl = process.ptl(vma.start, idx)
+            yield ptl.acquire()
+            try:
+                vma.pt.set_protection(
+                    slice(idx, idx + 1),
+                    readable=True,
+                    writable=vma.allows(True),
+                )
+                yield kernel.charge("fault.spurious", kernel.cost.fault_entry_us / 2)
+            finally:
+                ptl.release()
+    finally:
+        process.mmap_sem.release_read()
+    if kernel.debug_checks:
+        process.addr_space.check_invariants()
+
+
+def _demand_zero(kernel: Kernel, thread: "SimThread", vma: Vma, idx: int, write: bool):
+    """First-touch allocation of one page (NUMA-aware, Section 2.2)."""
+    process = thread.process
+    ptl = process.ptl(vma.start, idx)
+    yield ptl.acquire()
+    try:
+        if vma.pt.frame[idx] >= 0:  # raced with another faulter
+            return
+        yield kernel.charge("fault.anon", kernel.cost.anon_fault_us)
+        policy = process.policy_for(vma)
+        local = kernel.machine.node_of_core(thread.core)
+        frames, node = kernel.alloc_policy(policy, idx, local, allowed=process.allowed_mems)
+        lru = kernel.lru_locks[node]
+        yield lru.acquire()
+        try:
+            yield kernel.charge("fault.alloc", kernel.cost.lru_lock_hold_us / 2)
+        finally:
+            lru.release()
+        vma.pt.map_pages(slice(idx, idx + 1), frames, np.asarray([node]), vma.allows(True))
+        kernel.stats.minor_faults += 1
+        kernel.stats.pages_first_touched += 1
+    finally:
+        ptl.release()
+
+
+def demand_zero_batch(kernel: Kernel, thread: "SimThread", vma: Vma, idxs: np.ndarray):
+    """First-touch a batch of unpopulated pages of one VMA.
+
+    Equivalent to ``len(idxs)`` back-to-back demand-zero faults by one
+    thread (same per-page costs, one lock round-trip) — the fast path
+    large workloads use to initialize gigabyte matrices without a
+    Python-level loop per page.
+    """
+    process = thread.process
+    cost = kernel.cost
+    ptl = process.ptl(vma.start, int(idxs[0]))
+    yield ptl.acquire()
+    # Atomic: filter + allocate + map in one step (see nt_fault_batch).
+    still = vma.pt.frame[idxs] < 0
+    idxs = idxs[still]
+    if idxs.size == 0:
+        ptl.release()
+        return
+    k = int(idxs.size)
+    policy = process.policy_for(vma)
+    local = kernel.machine.node_of_core(thread.core)
+    allowed = process.allowed_mems
+    if policy.kind is PolicyKind.INTERLEAVE:
+        targets = interleave_nodes(policy, idxs)
+        if allowed is not None:
+            # cpuset confinement: clamp disallowed targets to the set.
+            table = np.asarray(allowed, dtype=np.int16)
+            bad = ~np.isin(targets, table)
+            targets = targets.copy()
+            targets[bad] = table[idxs[bad] % table.size]
+    else:
+        nodes, _strict = candidate_nodes(policy, int(idxs[0]), local, kernel.machine.num_nodes)
+        if allowed is not None:
+            nodes = [n for n in nodes if n in allowed]
+            if not nodes:
+                from ..errors import OutOfMemory
+
+                raise OutOfMemory("memory policy incompatible with cpuset mems")
+        targets = np.full(k, nodes[0], dtype=np.int16)
+    writable = vma.allows(True)
+    interleaved = policy.kind is PolicyKind.INTERLEAVE
+    for node in np.unique(targets):
+        sel = targets == node
+        count = int(np.count_nonzero(sel))
+        frames = kernel.alloc_on(int(node), count)
+        kernel.numastat.record(int(node), int(node), count, interleaved)
+        vma.pt.map_pages(idxs[sel], frames, np.full(count, node, dtype=np.int16), writable)
+    kernel.stats.minor_faults += k
+    kernel.stats.pages_first_touched += k
+    try:
+        yield kernel.charge("fault.entry", cost.fault_entry_us * k)
+        yield kernel.charge("fault.anon", cost.anon_fault_us * k)
+        yield kernel.charge("fault.alloc", cost.lru_lock_hold_us / 2 * k)
+    finally:
+        ptl.release()
+    if kernel.debug_checks:
+        vma.pt.check_invariants()
+
+
+def nt_fault_batch(
+    kernel: Kernel, thread: "SimThread", vma: Vma, idxs: np.ndarray, *, entry_charged: bool = False
+):
+    """Migrate-on-next-touch for a batch of pages of one VMA.
+
+    ``idxs`` must be sorted page indices the caller observed flagged
+    NEXTTOUCH; the flag is re-checked under the page-table lock, so
+    racing threads migrate each page exactly once. A batch of size one
+    is the faithful per-fault path; larger batches model a thread
+    touching pages back-to-back and are what keeps application-scale
+    simulations tractable.
+
+    The cost structure mirrors the paper's implementation (Section
+    3.3, Figure 6b): per-page fault + control under the PTL, a page
+    copy of which ``nt_copy_locked_fraction`` happens while the lock is
+    held (as in the copy-on-write path the design was inspired by), and
+    allocator work under the destination/source LRU locks.
+    """
+    process = thread.process
+    dest = kernel.machine.node_of_core(thread.core)
+    cost = kernel.cost
+    ptl = process.ptl(vma.start, int(idxs[0]))
+    yield ptl.acquire()
+    # --- atomic section (no yields): re-check flags and commit the new
+    # mapping in one step, so a racing faulter — even one serialized by
+    # a different PTL when batches span pmd boundaries — can never
+    # migrate the same page twice.
+    still = (vma.pt.flags[idxs] & PTE_NEXTTOUCH) != 0
+    idxs = idxs[still]
+    if idxs.size == 0:
+        ptl.release()
+        return
+    k = int(idxs.size)
+    kernel.stats.nt_faults += k
+    src_nodes = vma.pt.node[idxs].copy()
+    moving = src_nodes != dest
+    stay_idxs = idxs[~moving]
+    move_idxs = idxs[moving]
+    # Pages already local: clear the flag and revalidate — no copy,
+    # no useless migration (Section 3.4).
+    if stay_idxs.size:
+        vma.pt.clear_next_touch(stay_idxs, vma.allows(True))
+    move_srcs = src_nodes[moving]
+    old_frames = vma.pt.frame[move_idxs].copy()
+    if move_idxs.size:
+        # Order-0 allocation goes through the per-cpu pageset fast
+        # path: no zone lru_lock, unlike the synchronous migration
+        # engine's isolate/putback dance.
+        new_frames = kernel.alloc_on(dest, int(move_idxs.size))
+        kernel.move_contents(old_frames, new_frames)
+        vma.pt.frame[move_idxs] = new_frames
+        vma.pt.node[move_idxs] = dest
+        vma.pt.clear_next_touch(move_idxs, vma.allows(True))
+        kernel.stats.pages_migrated += int(move_idxs.size)
+    # --- end of atomic section; now pay for it.
+    try:
+        # Each page in the batch is a distinct hardware fault; the
+        # caller may have already paid the entry cost of the first one.
+        entries = k - (1 if entry_charged else 0)
+        yield kernel.charge(
+            "nt.control", k * cost.nt_fault_control_us + entries * cost.fault_entry_us
+        )
+        if move_idxs.size:
+            yield kernel.charge("nt.alloc", cost.nt_pcp_alloc_us * move_idxs.size)
+            # A fraction of the copy holds the PTL (COW-style; 1.0 by
+            # default — see CostModel.nt_copy_locked_fraction).
+            if cost.nt_copy_locked_fraction > 0:
+                t0 = kernel.env.now
+                for src in np.unique(move_srcs):
+                    nbytes = float(np.count_nonzero(move_srcs == src)) * PAGE_SIZE
+                    yield kernel.copy_pages_event(
+                        int(src), dest, nbytes * cost.nt_copy_locked_fraction, process
+                    )
+                kernel.ledger.add("nt.copy", kernel.env.now - t0)
+    finally:
+        ptl.release()
+    if move_idxs.size:
+        if cost.nt_copy_locked_fraction < 1.0:
+            # Tail of the copy proceeds without the PTL.
+            t0 = kernel.env.now
+            for src in np.unique(move_srcs):
+                nbytes = float(np.count_nonzero(move_srcs == src)) * PAGE_SIZE
+                yield kernel.copy_pages_event(
+                    int(src), dest, nbytes * (1.0 - cost.nt_copy_locked_fraction), process
+                )
+            kernel.ledger.add("nt.copy", kernel.env.now - t0)
+        # Old frames go back through the per-cpu pageset free path.
+        kernel.release_frames(old_frames)
+        yield kernel.charge("nt.free", cost.nt_pcp_free_us * old_frames.size)
+    if kernel.debug_checks:
+        vma.pt.check_invariants()

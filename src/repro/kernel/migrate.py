@@ -1,0 +1,123 @@
+"""The synchronous page-migration engine.
+
+This is the simulated counterpart of ``mm/migrate.c``'s
+``unmap_and_move`` loop, shared by ``move_pages`` and
+``migrate_pages``. Pages are processed in pagevec-sized chunks; for
+each chunk the engine:
+
+1. takes the VMA's ``anon_vma`` rmap lock and charges per-page control
+   (rmap walk, PTE unmap, status bookkeeping),
+2. performs the TLB shootdown over every CPU running the mm — still
+   under the lock, which is why concurrent migrating threads interfere
+   (Figure 7's sync curves),
+3. allocates destination frames under the destination LRU lock,
+4. copies the pages through the inter-node migration channel *outside*
+   the rmap lock,
+5. frees the old frames under their source LRU locks and commits the
+   new mapping.
+
+Pages already resident on their destination are filtered out before
+any locking: migration never does useless work (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..util.units import PAGE_SIZE
+from .core import Kernel
+from .vma import Vma
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sched.thread import SimThread
+
+__all__ = ["migrate_vma_pages"]
+
+
+def migrate_vma_pages(
+    kernel: Kernel,
+    thread: "SimThread",
+    vma: Vma,
+    idxs: np.ndarray,
+    dest_node: int,
+    *,
+    control_us: float,
+    tag: str,
+):
+    """Migrate populated pages ``idxs`` of ``vma`` to ``dest_node``.
+
+    ``control_us`` is the per-page control cost (the caller — move_pages
+    or migrate_pages — has different locking/locality profiles).
+    Returns the number of pages actually moved.
+    """
+    idxs = np.asarray(idxs, dtype=np.int64)
+    populated = vma.pt.frame[idxs] >= 0
+    idxs = idxs[populated]
+    idxs = idxs[vma.pt.node[idxs] != dest_node]
+    if idxs.size == 0:
+        return 0
+    moved = 0
+    process = thread.process
+    cost = kernel.cost
+    chunk_size = max(1, cost.migrate_pagevec)
+    anon_vma = vma.anon_vma
+    for lo in range(0, idxs.size, chunk_size):
+        chunk = idxs[lo : lo + chunk_size]
+        k = int(chunk.size)
+        if anon_vma is not None:
+            yield anon_vma.acquire()
+        try:
+            # Atomic (no yields): re-filter pages a concurrent caller
+            # already moved while we queued, allocate, and commit the
+            # new mapping — so the same page can never migrate twice.
+            still = (vma.pt.frame[chunk] >= 0) & (vma.pt.node[chunk] != dest_node)
+            chunk = chunk[still]
+            k = int(chunk.size)
+            if k == 0:
+                continue
+            src_nodes = vma.pt.node[chunk].copy()
+            old_frames = vma.pt.frame[chunk].copy()
+            new_frames = kernel.alloc_on(dest_node, k)
+            kernel.move_contents(old_frames, new_frames)
+            vma.pt.frame[chunk] = new_frames
+            vma.pt.node[chunk] = dest_node
+            # --- end of atomic section; now pay for it.
+            yield kernel.charge(f"{tag}.control", control_us * k)
+            # 2.6.27 migration flushes per page (no batching of the
+            # unmap flushes): k shootdowns, each IPI-ing every other
+            # CPU running this mm — the Figure 7 sync-scaling limiter.
+            yield kernel.tlb_shootdown_batch(process, thread.core, k, tag=f"{tag}.control")
+            lru = kernel.lru_locks[dest_node]
+            yield lru.acquire()
+            try:
+                yield kernel.charge(f"{tag}.control", cost.lru_lock_hold_us / 2 * k)
+            finally:
+                lru.release()
+        finally:
+            if anon_vma is not None:
+                anon_vma.release()
+        # Copy outside the rmap lock, grouped by source node.
+        t0 = kernel.env.now
+        for src in np.unique(src_nodes):
+            nbytes = float(np.count_nonzero(src_nodes == src)) * PAGE_SIZE
+            yield kernel.copy_pages_event(int(src), dest_node, nbytes, process)
+        kernel.ledger.add(f"{tag}.copy", kernel.env.now - t0)
+        # Put the old frames back.
+        for src in np.unique(src_nodes):
+            lru = kernel.lru_locks[int(src)]
+            yield lru.acquire()
+            try:
+                sel = src_nodes == src
+                kernel.release_frames(old_frames[sel])
+                yield kernel.charge(
+                    f"{tag}.control", cost.lru_lock_hold_us / 2 * int(np.count_nonzero(sel))
+                )
+            finally:
+                lru.release()
+        moved += k
+        kernel.stats.pages_migrated += k
+    if kernel.debug_checks:
+        vma.pt.check_invariants()
+    return moved

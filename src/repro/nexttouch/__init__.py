@@ -1,0 +1,26 @@
+"""Next-touch policies: user-space (Fig. 1), kernel (Fig. 2), lazy
+migration strategies (Sec. 3.4)."""
+
+from .kernel_api import mark_next_touch, pending_next_touch_pages
+from .lazy import (
+    LazyKernelNextTouch,
+    LazyUserNextTouch,
+    MigrationStrategy,
+    NoMigration,
+    SwapBasedNextTouch,
+    SyncMovePages,
+)
+from .user import Region, UserNextTouch
+
+__all__ = [
+    "UserNextTouch",
+    "Region",
+    "mark_next_touch",
+    "pending_next_touch_pages",
+    "MigrationStrategy",
+    "NoMigration",
+    "SyncMovePages",
+    "LazyKernelNextTouch",
+    "LazyUserNextTouch",
+    "SwapBasedNextTouch",
+]

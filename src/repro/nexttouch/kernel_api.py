@@ -1,0 +1,30 @@
+"""Kernel next-touch (Figure 2): the thin user-side wrapper.
+
+The whole point of the kernel design is that user space only needs one
+call — ``madvise(start, len, MADV_NEXTTOUCH)`` — and the page-fault
+handler does the rest. This module wraps that call and adds the
+introspection experiments use.
+"""
+
+from __future__ import annotations
+
+from ..kernel.syscalls import Madvise
+from ..sched.thread import SimThread
+
+__all__ = ["mark_next_touch", "pending_next_touch_pages"]
+
+
+def mark_next_touch(thread: SimThread, addr: int, nbytes: int):
+    """Mark a range migrate-on-next-touch; returns pages marked."""
+    marked = yield from thread.madvise(addr, nbytes, Madvise.NEXTTOUCH)
+    return marked
+
+
+def pending_next_touch_pages(thread: SimThread, addr: int, nbytes: int) -> int:
+    """How many pages of a range are still awaiting their next touch."""
+    import numpy as np
+
+    total = 0
+    for vma, first, stop in thread.process.addr_space.range_segments(addr, nbytes):
+        total += int(np.count_nonzero(vma.pt.next_touch(slice(first, stop))))
+    return total

@@ -1,0 +1,130 @@
+"""Migration strategies: synchronous vs lazy (Sections 3.4 & 4.4).
+
+A :class:`MigrationStrategy` answers one question for a scheduler or
+runtime that just moved a thread: *how do we get this buffer near its
+thread?* The paper compares:
+
+* **synchronous** — ``move_pages`` right now, whole buffer, destination
+  known (``SyncMovePages``);
+* **lazy, kernel** — mark with ``madvise(MADV_NEXTTOUCH)`` and let the
+  fault handler migrate exactly the pages the thread really touches
+  (``LazyKernelNextTouch``);
+* **lazy, user** — the mprotect/SIGSEGV library (``LazyUserNextTouch``);
+* **none** — leave data where it is (``NoMigration`` baseline).
+
+``migrate()`` performs/arms the movement; ``touched_side_cost`` notes
+whether the cost is paid up front or on first touch.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..kernel.syscalls import Madvise
+from ..sched.thread import SimThread
+from .user import UserNextTouch
+
+__all__ = [
+    "MigrationStrategy",
+    "NoMigration",
+    "SyncMovePages",
+    "LazyKernelNextTouch",
+    "LazyUserNextTouch",
+]
+
+
+class MigrationStrategy(abc.ABC):
+    """How a buffer follows its thread to a new NUMA node."""
+
+    #: Short label used in experiment tables.
+    name: str = "abstract"
+    #: True when the data moves during later touches, not in migrate().
+    lazy: bool = False
+
+    @abc.abstractmethod
+    def migrate(self, thread: SimThread, addr: int, nbytes: int, dest_node: Optional[int]):
+        """Move (or arm the move of) ``[addr, addr+nbytes)``.
+
+        ``dest_node`` may be None for lazy strategies, where the
+        destination is wherever the next toucher runs.
+        """
+
+
+class NoMigration(MigrationStrategy):
+    """Baseline: data stays put; remote accesses pay the NUMA factor."""
+
+    name = "static"
+
+    def migrate(self, thread, addr, nbytes, dest_node=None):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class SyncMovePages(MigrationStrategy):
+    """Synchronous ``move_pages`` of the whole buffer."""
+
+    name = "sync"
+
+    def __init__(self, patched: bool = True) -> None:
+        self.patched = patched
+        if not patched:
+            self.name = "sync-nopatch"
+
+    def migrate(self, thread, addr, nbytes, dest_node=None):
+        dest = thread.node if dest_node is None else dest_node
+        status = yield from thread.move_range(addr, nbytes, dest, patched=self.patched)
+        return status
+
+
+class LazyKernelNextTouch(MigrationStrategy):
+    """Lazy migration through the kernel next-touch flag.
+
+    Untouched pages never move — "if the thread actually touches only
+    part of the buffer, only the corresponding pages will be migrated
+    for real" (Section 3.4).
+    """
+
+    name = "lazy-kernel"
+    lazy = True
+
+    def migrate(self, thread, addr, nbytes, dest_node=None):
+        marked = yield from thread.madvise(addr, nbytes, Madvise.NEXTTOUCH)
+        return marked
+
+
+class SwapBasedNextTouch(MigrationStrategy):
+    """The design the paper *rejected* (Section 3.2): force pages to
+    disk so the next toucher's swap-in lands them locally.
+
+    Functionally a next-touch policy; performance-wise "strongly
+    limited by the storage subsystem" — run the ablation benchmark to
+    see the paper's verdict in numbers. Requires a swap device
+    (:func:`repro.kernel.swap.attach_swap`).
+    """
+
+    name = "lazy-swap"
+    lazy = True
+
+    def migrate(self, thread, addr, nbytes, dest_node=None):
+        written = yield from thread.swap_out(addr, nbytes)
+        return written
+
+
+class LazyUserNextTouch(MigrationStrategy):
+    """Lazy migration through the user-space mprotect/SIGSEGV library."""
+
+    name = "lazy-user"
+    lazy = True
+
+    def __init__(self, library: UserNextTouch) -> None:
+        self.library = library
+
+    def migrate(self, thread, addr, nbytes, dest_node=None):
+        region = next(
+            (r for r in self.library.regions if r.addr == addr and r.nbytes >= nbytes), None
+        )
+        if region is None:
+            region = self.library.register(addr, nbytes)
+        marked = yield from self.library.mark(thread, region)
+        return marked

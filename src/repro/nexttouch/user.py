@@ -1,0 +1,166 @@
+"""User-space next-touch (Figure 1 of the paper).
+
+The scheme needs no kernel support beyond what stock Linux offers:
+
+1. buffers are *registered* with the library, optionally subdivided
+   into chunks (e.g. matrix columns) — this is the "variable
+   granularity" advantage over the page-based kernel design;
+2. ``mark`` applies ``mprotect(PROT_NONE)``, so the MMU will fault on
+   the next access even though the pages and their data stay put;
+3. the library's SIGSEGV handler identifies the chunk containing the
+   faulting address, migrates the *whole chunk* at once with
+   ``move_pages`` to the toucher's node (amortizing the 160 µs base
+   overhead), restores the original protection and returns — the
+   faulting instruction retries and succeeds.
+
+The library also remembers where every chunk landed
+(:attr:`UserNextTouch.locations`) — the extra knowledge Section 3.4
+credits this design with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SegmentationFault
+from ..kernel.core import SIGSEGV, SimProcess
+from ..kernel.vma import PROT_RW
+from ..sched.thread import SimThread
+from ..util.units import PAGE_SIZE
+
+__all__ = ["Region", "UserNextTouch"]
+
+
+@dataclass
+class Region:
+    """A registered buffer, subdivided into independently-migrating
+    chunks."""
+
+    addr: int
+    nbytes: int
+    prot: int
+    chunk_bytes: int
+    #: per-chunk marked state
+    marked: list[bool] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.addr % PAGE_SIZE or self.nbytes <= 0:
+            raise ValueError("region must be page-aligned and non-empty")
+        if self.chunk_bytes % PAGE_SIZE or self.chunk_bytes <= 0:
+            raise ValueError("chunk size must be a positive page multiple")
+        if not self.marked:
+            self.marked = [False] * self.num_chunks
+
+    @property
+    def end(self) -> int:
+        """Exclusive end address."""
+        return self.addr + self.nbytes
+
+    @property
+    def num_chunks(self) -> int:
+        """How many chunks the region is divided into."""
+        return -(-self.nbytes // self.chunk_bytes)
+
+    def chunk_of(self, addr: int) -> int:
+        """Chunk index containing ``addr``."""
+        if not (self.addr <= addr < self.end):
+            raise ValueError(f"0x{addr:x} outside region")
+        return (addr - self.addr) // self.chunk_bytes
+
+    def chunk_range(self, index: int) -> tuple[int, int]:
+        """(address, nbytes) of chunk ``index``."""
+        start = self.addr + index * self.chunk_bytes
+        return start, min(self.chunk_bytes, self.end - start)
+
+
+class UserNextTouch:
+    """The user-space next-touch library for one process."""
+
+    def __init__(self, process: SimProcess, *, patched_move_pages: bool = True) -> None:
+        self.process = process
+        #: Whether migrations use the fixed (2.6.29) move_pages; the
+        #: unpatched variant reproduces Figure 5's "no patch" curve.
+        self.patched_move_pages = patched_move_pages
+        self.regions: list[Region] = []
+        #: (region_index, chunk_index) -> node after migration.
+        self.locations: dict[tuple[int, int], int] = {}
+        #: how many chunk migrations the handler performed
+        self.migrations = 0
+        self._prev_handler = process.signal_handlers.get(SIGSEGV)
+        process.sigaction(SIGSEGV, self._handler)
+
+    # ------------------------------------------------------------ registry ---
+    def register(
+        self, addr: int, nbytes: int, *, prot: int = PROT_RW, chunk_bytes: Optional[int] = None
+    ) -> Region:
+        """Register a buffer; ``chunk_bytes`` sets migration granularity
+        (default: the whole buffer moves on one touch)."""
+        region = Region(addr, nbytes, prot, chunk_bytes or _round_pages(nbytes))
+        self.regions.append(region)
+        return region
+
+    def unregister(self, region: Region) -> None:
+        """Forget a region (its pages must not be left marked)."""
+        if any(region.marked):
+            raise ValueError("cannot unregister a region with marked chunks")
+        idx = self.regions.index(region)
+        self.regions.remove(region)
+        # Drop the region's location knowledge and re-key the rest
+        # (indices after the removed region shift down by one).
+        rekeyed = {}
+        for (r, c), n in self.locations.items():
+            if r == idx:
+                continue
+            rekeyed[(r - 1 if r > idx else r, c)] = n
+        self.locations = rekeyed
+
+    # ------------------------------------------------------------ marking ----
+    def mark(self, thread: SimThread, region: Optional[Region] = None):
+        """Make region(s) migrate on next touch: ``mprotect(PROT_NONE)``.
+
+        Marks every registered region when ``region`` is None — the
+        "entering a new parallel section" hook of Section 3.4.
+        """
+        from ..kernel.vma import PROT_NONE
+
+        targets = [region] if region is not None else list(self.regions)
+        for reg in targets:
+            yield from thread.mprotect(reg.addr, reg.nbytes, PROT_NONE, tag="mprotect.mark")
+            reg.marked = [True] * reg.num_chunks
+        return sum(r.num_chunks for r in targets)
+
+    # ------------------------------------------------------------ handler ----
+    def _find(self, addr: int) -> Optional[tuple[int, Region]]:
+        for i, reg in enumerate(self.regions):
+            if reg.addr <= addr < reg.end:
+                return i, reg
+        return None
+
+    def _handler(self, thread: SimThread, siginfo):
+        found = self._find(siginfo.addr)
+        if found is None:
+            # Not ours: chain to any previously-installed handler, or
+            # die like the default disposition would.
+            if self._prev_handler is not None:
+                yield from self._prev_handler(thread, siginfo)
+                return
+            raise SegmentationFault(siginfo.addr, siginfo.write, "outside next-touch regions")
+        region_idx, region = found
+        chunk = region.chunk_of(siginfo.addr)
+        if not region.marked[chunk]:
+            # Raced: another thread already migrated and restored it.
+            return
+        addr, nbytes = region.chunk_range(chunk)
+        dest = thread.node
+        # Clear the mark *before* blocking in move_pages so concurrent
+        # faulters on the same chunk don't migrate it twice.
+        region.marked[chunk] = False
+        yield from thread.move_range(addr, nbytes, dest, patched=self.patched_move_pages)
+        yield from thread.mprotect(addr, nbytes, region.prot, tag="mprotect.restore")
+        self.locations[(region_idx, chunk)] = dest
+        self.migrations += 1
+
+
+def _round_pages(nbytes: int) -> int:
+    return -(-nbytes // PAGE_SIZE) * PAGE_SIZE

@@ -1,0 +1,28 @@
+"""libnuma-style user API over the simulated kernel."""
+
+from .nodemask import NodeMask, parse_nodestring
+from .libnuma import (
+    numa_alloc_interleaved,
+    numa_alloc_local,
+    numa_alloc_onnode,
+    numa_distance,
+    numa_free,
+    numa_maps,
+    numa_node_of_page,
+    numa_num_configured_nodes,
+    numa_run_on_node,
+)
+
+__all__ = [
+    "NodeMask",
+    "parse_nodestring",
+    "numa_alloc_onnode",
+    "numa_alloc_local",
+    "numa_alloc_interleaved",
+    "numa_free",
+    "numa_node_of_page",
+    "numa_run_on_node",
+    "numa_num_configured_nodes",
+    "numa_distance",
+    "numa_maps",
+]

@@ -1,0 +1,137 @@
+"""Node masks: libnuma's ``struct bitmask`` and nodestring parsing.
+
+Real libnuma programs pass node sets around as bitmasks and build them
+from strings like ``"0-2,5"`` (``numa_parse_nodestring``). The
+simulated API accepts plain tuples everywhere, but porting code is
+easier when the same vocabulary exists — and the mask form makes the
+set algebra (union for policies, intersection with cpuset ``mems``)
+explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import ConfigurationError
+
+__all__ = ["NodeMask", "parse_nodestring"]
+
+
+class NodeMask:
+    """An immutable set of NUMA node ids with bitmask semantics."""
+
+    __slots__ = ("_bits", "_limit")
+
+    def __init__(self, nodes: Iterable[int] = (), *, limit: int = 64) -> None:
+        self._limit = limit
+        bits = 0
+        for node in nodes:
+            if not (0 <= node < limit):
+                raise ConfigurationError(f"node {node} out of mask range 0..{limit - 1}")
+            bits |= 1 << node
+        self._bits = bits
+
+    # ------------------------------------------------------------ factories --
+    @classmethod
+    def all(cls, num_nodes: int) -> "NodeMask":
+        """Mask with nodes ``0..num_nodes-1`` set (``numa_all_nodes``)."""
+        return cls(range(num_nodes))
+
+    @classmethod
+    def of(cls, *nodes: int) -> "NodeMask":
+        """Mask from explicit node ids."""
+        return cls(nodes)
+
+    # ------------------------------------------------------------ algebra ----
+    def union(self, other: "NodeMask") -> "NodeMask":
+        """Set union."""
+        return self._from_bits(self._bits | other._bits)
+
+    def intersection(self, other: "NodeMask") -> "NodeMask":
+        """Set intersection (e.g. policy nodes ∩ cpuset mems)."""
+        return self._from_bits(self._bits & other._bits)
+
+    def difference(self, other: "NodeMask") -> "NodeMask":
+        """Set difference."""
+        return self._from_bits(self._bits & ~other._bits)
+
+    def _from_bits(self, bits: int) -> "NodeMask":
+        mask = NodeMask((), limit=self._limit)
+        mask._bits = bits
+        return mask
+
+    # ------------------------------------------------------------ queries ----
+    def isset(self, node: int) -> bool:
+        """Whether ``node`` is in the mask (``numa_bitmask_isbitset``)."""
+        return bool(self._bits >> node & 1) if 0 <= node < self._limit else False
+
+    def nodes(self) -> tuple[int, ...]:
+        """The node ids, ascending — the form the rest of the API takes."""
+        return tuple(n for n in range(self._limit) if self._bits >> n & 1)
+
+    def weight(self) -> int:
+        """Population count (``numa_bitmask_weight``)."""
+        return bin(self._bits).count("1")
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes())
+
+    def __len__(self) -> int:
+        return self.weight()
+
+    def __contains__(self, node: int) -> bool:
+        return self.isset(node)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NodeMask) and other._bits == self._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        return f"NodeMask({self.to_nodestring()!r})"
+
+    # ------------------------------------------------------------ strings ----
+    def to_nodestring(self) -> str:
+        """Render as a compact nodestring (``"0-2,5"``)."""
+        runs: list[str] = []
+        nodes = self.nodes()
+        i = 0
+        while i < len(nodes):
+            j = i
+            while j + 1 < len(nodes) and nodes[j + 1] == nodes[j] + 1:
+                j += 1
+            runs.append(str(nodes[i]) if i == j else f"{nodes[i]}-{nodes[j]}")
+            i = j + 1
+        return ",".join(runs)
+
+
+def parse_nodestring(text: str, *, limit: int = 64) -> NodeMask:
+    """``numa_parse_nodestring``: ``"0-2,5"`` -> NodeMask.
+
+    Accepts single ids, ranges, comma combinations, and ``"all"``
+    (requires ``limit`` to be the machine's node count for that form).
+    """
+    text = text.strip()
+    if not text:
+        raise ConfigurationError("empty nodestring")
+    if text == "all":
+        return NodeMask.all(limit)
+    nodes: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo_s, _, hi_s = part.partition("-")
+            try:
+                lo, hi = int(lo_s), int(hi_s)
+            except ValueError as exc:
+                raise ConfigurationError(f"bad nodestring part {part!r}") from exc
+            if hi < lo:
+                raise ConfigurationError(f"descending range {part!r}")
+            nodes.extend(range(lo, hi + 1))
+        else:
+            try:
+                nodes.append(int(part))
+            except ValueError as exc:
+                raise ConfigurationError(f"bad nodestring part {part!r}") from exc
+    return NodeMask(nodes, limit=limit)

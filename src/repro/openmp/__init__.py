@@ -1,0 +1,5 @@
+"""OpenMP-like runtime (teams, parallel-for, next-touch hooks)."""
+
+from .runtime import OpenMP
+
+__all__ = ["OpenMP"]

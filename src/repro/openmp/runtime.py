@@ -1,0 +1,181 @@
+"""A GOMP-like OpenMP runtime for simulated threads.
+
+The paper drives its LU factorization with ``#pragma omp parallel
+for`` and proposes hooking next-touch marking into parallel-section
+entry (Section 3.4). This runtime provides exactly that surface:
+
+* a fixed, core-bound thread **team** (placement chosen once, like
+  ``GOMP_CPU_AFFINITY``);
+* :meth:`OpenMP.parallel` — fork a region, join at its end;
+* :meth:`OpenMP.parallel_for` — static or dynamic loop scheduling;
+* an optional **next-touch hook** run by the master at region entry —
+  the paper's proposed pragma.
+
+Work-to-thread assignment under ``static`` scheduling is by rank and
+chunk, so (as the paper notes for GCC) there is *no guarantee* a given
+datum is always computed by the thread that touched it last — which is
+precisely why the next-touch policy earns its keep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..errors import ConfigurationError
+from ..kernel.core import SimProcess
+from ..sched.scheduler import Placement
+from ..sched.thread import SimThread
+from ..sim.resources import Mutex
+from ..system import System
+
+__all__ = ["OpenMP"]
+
+
+class OpenMP:
+    """An OpenMP-style runtime bound to one process."""
+
+    def __init__(
+        self,
+        system: System,
+        process: SimProcess,
+        num_threads: int,
+        placement: Placement = Placement.SPREAD,
+        *,
+        shuffle_each_region: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if num_threads < 1:
+            raise ConfigurationError("need at least one OpenMP thread")
+        self.system = system
+        self.process = process
+        self.num_threads = num_threads
+        self.cores = system.scheduler.place(num_threads, placement)
+        system.scheduler.record(self.cores)
+        #: GCC's 2009 GOMP did not bind threads: between parallel
+        #: sections the Linux scheduler was free to move them, so "there
+        #: is no guarantee about which thread will compute which block
+        #: on which processor" (Section 4.5). With this flag each region
+        #: gets a fresh (deterministic) rank-to-core permutation.
+        self.shuffle_each_region = shuffle_each_region
+        import numpy as _np
+
+        self._shuffle_rng = _np.random.default_rng(seed)
+        #: generator function(master_thread) run before each region —
+        #: the paper's next-touch madvise hook.
+        self.region_entry_hook: Optional[Callable[[SimThread], Generator]] = None
+        self._dispatch_lock = Mutex(system.env, name="omp.dispatch")
+        #: completed parallel regions (informational)
+        self.regions = 0
+
+    # ------------------------------------------------------------ regions ----
+    def parallel(self, body: Callable[[int, SimThread], Generator]):
+        """Run ``body(rank, thread)`` on the whole team; join at the end.
+
+        Drive from the master thread: ``yield from omp.parallel(body)``.
+        Worker exceptions propagate to the master at the join, like a
+        crash inside a real parallel region would take the process down.
+        """
+        env = self.system.env
+        kernel = self.system.kernel
+        yield kernel.charge("omp.fork", kernel.cost.omp_fork_us)
+        if self.region_entry_hook is not None:
+            master = SimThread(self.process, self.cores[0], name="omp.master-hook")
+            # The hook runs on the master's core before workers start.
+            hook_proc = master.start(self.region_entry_hook)
+            yield hook_proc
+        cores = list(self.cores)
+        if self.shuffle_each_region:
+            cores = [self.cores[i] for i in self._shuffle_rng.permutation(len(self.cores))]
+        workers = []
+        for rank, core in enumerate(cores):
+            thread = SimThread(self.process, core, name=f"omp.w{rank}")
+            workers.append(thread.start(lambda t, r=rank: body(r, t)))
+        results = yield env.all_of(workers)
+        yield kernel.charge("omp.join", kernel.cost.omp_fork_us / 2)
+        self.regions += 1
+        return results
+
+    def parallel_for(
+        self,
+        count: int,
+        body: Callable[[SimThread, int, int], Generator],
+        *,
+        schedule: str = "static",
+        chunk: Optional[int] = None,
+    ):
+        """``#pragma omp parallel for`` over ``range(count)``.
+
+        ``body(thread, start, stop)`` handles one contiguous chunk.
+
+        * ``static`` — iteration space cut into ``num_threads``
+          contiguous blocks (GCC's default);
+        * ``static,chunk`` — fixed-size chunks dealt round-robin;
+        * ``dynamic`` — chunks grabbed from a shared counter under a
+          lock (costs ``omp_chunk_us`` per grab).
+        """
+        if count < 0:
+            raise ConfigurationError("negative iteration count")
+        if schedule not in ("static", "dynamic"):
+            raise ConfigurationError(f"unknown schedule {schedule!r}")
+        if count == 0:
+            return []
+        if schedule == "static":
+            if chunk is None:
+                bounds = _static_blocks(count, self.num_threads)
+
+                def runner(rank: int, thread: SimThread):
+                    start, stop = bounds[rank]
+                    if start < stop:
+                        yield from body(thread, start, stop)
+
+            else:
+                step = chunk * self.num_threads
+
+                def runner(rank: int, thread: SimThread):
+                    start = rank * chunk
+                    while start < count:
+                        yield from body(thread, start, min(start + chunk, count))
+                        start += step
+
+            results = yield from self.parallel(runner)
+            return results
+        # dynamic
+        grain = chunk or 1
+        state = {"next": 0}
+        lock = self._dispatch_lock
+        kernel = self.system.kernel
+
+        def runner(rank: int, thread: SimThread):
+            while True:
+                yield lock.acquire()
+                try:
+                    yield kernel.charge("omp.dispatch", kernel.cost.omp_chunk_us)
+                    start = state["next"]
+                    state["next"] = min(count, start + grain)
+                finally:
+                    lock.release()
+                if start >= count:
+                    return
+                yield from body(thread, start, min(start + grain, count))
+
+        results = yield from self.parallel(runner)
+        return results
+
+    def single(self, body: Callable[[SimThread], Generator]):
+        """Run ``body`` once on the master's core (``omp single``)."""
+        thread = SimThread(self.process, self.cores[0], name="omp.single")
+        proc = thread.start(body)
+        result = yield proc
+        return result
+
+
+def _static_blocks(count: int, parts: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal blocks, first blocks one larger."""
+    base, extra = divmod(count, parts)
+    bounds = []
+    start = 0
+    for rank in range(parts):
+        size = base + (1 if rank < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds

@@ -1,0 +1,173 @@
+"""Human-readable system reports: where did the time and memory go?
+
+:func:`system_report` renders a post-run summary of a :class:`System` —
+the simulated analogue of skimming ``/proc/vmstat``, ``numastat``,
+lock-stat and the interconnect counters after a benchmark. Experiments
+and examples print it to explain *why* a configuration behaved as it
+did.
+"""
+
+from __future__ import annotations
+
+from .system import System
+from .util.tables import render_table
+from .util.units import PAGE_SIZE, fmt_bytes
+
+__all__ = [
+    "system_report",
+    "lock_report",
+    "memory_report",
+    "ledger_report",
+    "topology_report",
+]
+
+
+def topology_report(machine) -> str:
+    """An ASCII rendering of the machine (the paper's Figure 3).
+
+    The 4-node HyperTransport square gets the paper's diagram; other
+    shapes fall back to a link table plus the SLIT matrix.
+    """
+    from .hardware.topology import Machine  # local import avoids cycles
+
+    assert isinstance(machine, Machine)
+    lines = [f"machine: {machine.name} ({machine.num_nodes} NUMA nodes, "
+             f"{machine.num_cores} cores)"]
+    edges = set(machine.interconnect.graph.edges)
+    is_square = machine.num_nodes == 4 and edges == {(0, 1), (0, 2), (1, 3), (2, 3)}
+    if is_square:
+        mem = fmt_bytes(machine.nodes[0].mem_bytes)
+        cores = len(machine.nodes[0].core_ids)
+        l3 = fmt_bytes(machine.nodes[0].l3.size)
+        lines += [
+            "",
+            f"   [{mem}]--#0 ========= #1--[{mem}]",
+            "            ||           ||",
+            "            ||  Hyper-   ||",
+            "            || Transport ||",
+            "            ||           ||",
+            f"   [{mem}]--#2 ========= #3--[{mem}]",
+            "",
+            f"   each node: {cores} cores sharing a {l3} L3",
+        ]
+    else:
+        link_rows = [[f"{a} <-> {b}"] for a, b in sorted(edges)]
+        lines += ["", render_table(["link"], link_rows, title="links")]
+    dist = machine.distance_matrix()
+    rows = [[f"node {i}"] + list(row) for i, row in enumerate(dist)]
+    lines += ["", render_table([""] + [f"n{j}" for j in range(machine.num_nodes)], rows,
+                               title="SLIT distances")]
+    return "\n".join(lines)
+
+
+def memory_report(system: System) -> str:
+    """Per-node frame usage plus numastat counters."""
+    rows = []
+    ns = system.kernel.numastat
+    for alloc in system.kernel.allocators:
+        n = alloc.node_id
+        rows.append(
+            [
+                n,
+                fmt_bytes(alloc.capacity * PAGE_SIZE),
+                alloc.used,
+                alloc.free,
+                ns.numa_hit[n],
+                ns.numa_miss[n],
+                ns.numa_foreign[n],
+                ns.interleave_hit[n],
+            ]
+        )
+    return render_table(
+        [
+            "node",
+            "capacity",
+            "used",
+            "free",
+            "numa_hit",
+            "numa_miss",
+            "numa_foreign",
+            "interleave_hit",
+        ],
+        rows,
+        title="memory nodes (numastat)",
+    )
+
+
+def lock_report(system: System, top: int = 8) -> str:
+    """Most-contended kernel locks."""
+    locks = list(system.kernel.lru_locks) + [system.kernel.migrate_prep_lock]
+    for proc in system.kernel.processes:
+        locks.extend(proc._ptls.values())
+        for vma in proc.addr_space.vmas:
+            if vma.anon_vma is not None:
+                locks.append(vma.anon_vma)
+    ranked = sorted(locks, key=lambda l: l.stats.wait_time, reverse=True)[:top]
+    rows = [
+        [
+            lock.name or "<anon>",
+            lock.stats.acquisitions,
+            lock.stats.contended,
+            round(lock.stats.wait_time, 1),
+            round(lock.stats.hold_time, 1),
+        ]
+        for lock in ranked
+        if lock.stats.acquisitions
+    ]
+    if not rows:
+        return "locks: no acquisitions recorded"
+    return render_table(
+        ["lock", "acquisitions", "contended", "wait us", "hold us"],
+        rows,
+        title=f"top {len(rows)} locks by wait time",
+    )
+
+
+def ledger_report(system: System, top: int = 12) -> str:
+    """Where simulated time was charged, by component tag."""
+    totals = system.kernel.ledger.totals
+    if not totals:
+        return "ledger: empty"
+    grand = sum(totals.values())
+    ranked = sorted(totals.items(), key=lambda kv: kv[1], reverse=True)[:top]
+    rows = [
+        [tag, round(us, 1), f"{100 * us / grand:.1f}%", system.kernel.ledger.counts[tag]]
+        for tag, us in ranked
+    ]
+    return render_table(
+        ["component", "total us", "share", "events"],
+        rows,
+        title=f"cost ledger (top {len(rows)} of {len(totals)} tags)",
+    )
+
+
+def system_report(system: System) -> str:
+    """The full post-run report."""
+    stats = system.kernel.stats
+    headline = render_table(
+        ["metric", "value"],
+        [
+            ["simulated time", f"{system.now / 1e6:.6f} s"],
+            ["engine events", system.env.events_processed],
+            ["first-touch pages", stats.pages_first_touched],
+            ["pages migrated", stats.pages_migrated],
+            ["next-touch faults", stats.nt_faults],
+            ["protection faults", stats.prot_faults],
+            ["signals delivered", stats.signals_delivered],
+            ["TLB shootdowns", stats.tlb_shootdowns],
+            ["TLB IPIs", stats.tlb_ipis],
+        ],
+        title="kernel statistics",
+    )
+    links = system.kernel.fabric.utilizations()
+    link_rows = [
+        [f"{a}->{b}", f"{util:.1%}"] for (a, b), util in sorted(links.items()) if util > 0
+    ]
+    link_part = (
+        render_table(["link", "utilization"], link_rows, title="interconnect")
+        if link_rows
+        else "interconnect: idle"
+    )
+    return "\n\n".join(
+        [headline, memory_report(system), ledger_report(system), lock_report(system), link_part]
+    )

@@ -1,0 +1,17 @@
+"""Simulated threads, placement policies, and joined thread+memory
+affinity management."""
+
+from .affinity import AffinityManager, Attachment
+from .cpuset import CpuSet, CpusetManager
+from .scheduler import Placement, Scheduler
+from .thread import SimThread
+
+__all__ = [
+    "SimThread",
+    "Scheduler",
+    "Placement",
+    "AffinityManager",
+    "Attachment",
+    "CpuSet",
+    "CpusetManager",
+]

@@ -1,0 +1,103 @@
+"""Joined scheduling of threads and their memory.
+
+The paper's conclusion sketches the end goal: "a tight integration of
+our Next-touch support within the NUMA-aware MARCEL user-level
+threading library ... a combined model for dynamically scheduling
+threads and placing memory buffers depending on their affinities"
+(the ForestGOMP direction).
+
+:class:`AffinityManager` is that combined model over this simulation:
+threads *attach* the buffers they work on; when the load balancer
+moves a thread, the manager migrates the thread **and** arms its
+attachments with the configured
+:class:`~repro.nexttouch.lazy.MigrationStrategy` — by default the lazy
+kernel next-touch, so exactly the pages the thread still uses follow
+it, with no bookkeeping of what those pages are (Section 3.4: "the
+thread scheduler does not have to know which buffers are attached to
+which thread" — here it only knows the coarse buffer list, never the
+page-level truth).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..nexttouch.lazy import LazyKernelNextTouch, MigrationStrategy
+from ..sched.thread import SimThread
+from ..system import System
+
+__all__ = ["Attachment", "AffinityManager"]
+
+
+@dataclass(frozen=True)
+class Attachment:
+    """One buffer a thread declared affinity to."""
+
+    addr: int
+    nbytes: int
+
+
+class AffinityManager:
+    """Co-migration of threads and their attached buffers."""
+
+    def __init__(self, system: System, strategy: Optional[MigrationStrategy] = None) -> None:
+        self.system = system
+        self.strategy = strategy or LazyKernelNextTouch()
+        self._attachments: dict[int, list[Attachment]] = defaultdict(list)
+        #: threads moved by the manager
+        self.threads_moved = 0
+        #: bytes armed (or moved) alongside those threads
+        self.bytes_armed = 0
+
+    # ------------------------------------------------------------ registry ---
+    def attach(self, thread: SimThread, addr: int, nbytes: int) -> Attachment:
+        """Declare that ``thread`` works on ``[addr, addr + nbytes)``."""
+        if nbytes <= 0:
+            raise ConfigurationError("attachment must be non-empty")
+        att = Attachment(addr, nbytes)
+        self._attachments[thread.tid].append(att)
+        return att
+
+    def detach(self, thread: SimThread, attachment: Attachment) -> None:
+        """Remove a declared affinity."""
+        self._attachments[thread.tid].remove(attachment)
+
+    def attachments_of(self, thread: SimThread) -> tuple[Attachment, ...]:
+        """This thread's declared buffers."""
+        return tuple(self._attachments.get(thread.tid, ()))
+
+    # ------------------------------------------------------------ migration --
+    def migrate_thread(self, thread: SimThread, core: int):
+        """Move a thread to ``core`` and make its data follow.
+
+        The strategy decides *how* the data follows: lazily (next-touch
+        marking, pages move as used) or synchronously (``move_pages``
+        now). Drive from the thread itself: ``yield from
+        manager.migrate_thread(t, core)``.
+        """
+        old_node = thread.node
+        yield from thread.migrate_to(core)
+        self.threads_moved += 1
+        if thread.node == old_node:
+            return 0  # same node: no data movement needed
+        armed = 0
+        for att in self._attachments.get(thread.tid, ()):
+            yield from self.strategy.migrate(thread, att.addr, att.nbytes, thread.node)
+            armed += att.nbytes
+        self.bytes_armed += armed
+        return armed
+
+    def rebalance(self, moves: dict[SimThread, int]):
+        """Apply a load-balancer decision: many threads at once.
+
+        Runs from a coordinating context; each thread must currently be
+        between work items (this prototype migrates them directly).
+        """
+        armed = 0
+        for thread, core in moves.items():
+            moved = yield from self.migrate_thread(thread, core)
+            armed += moved or 0
+        return armed

@@ -1,0 +1,86 @@
+"""Thread placement: the (deliberately simple) scheduler.
+
+The paper's premise is that the *scheduler* decides where threads run
+(load balancing) while the next-touch policy makes data follow them.
+This module provides the placement side: deterministic core assignment
+policies and a load tracker, so experiments and the OpenMP runtime can
+place teams the way GOMP + cpusets did on the paper's host.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..hardware.topology import Machine
+
+__all__ = ["Placement", "Scheduler"]
+
+
+class Placement(enum.Enum):
+    """Team placement policies."""
+
+    #: Round-robin across NUMA nodes first (OMP_PROC_BIND=spread).
+    SPREAD = "spread"
+    #: Fill each node's cores before moving on (OMP_PROC_BIND=close).
+    COMPACT = "compact"
+    #: Pack everything onto one node (cpuset-style isolation).
+    SINGLE_NODE = "single_node"
+
+
+class Scheduler:
+    """Deterministic thread-placement policies over a machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._load: Counter[int] = Counter()
+
+    def place(
+        self,
+        count: int,
+        policy: Placement = Placement.SPREAD,
+        *,
+        node: int | None = None,
+    ) -> list[int]:
+        """Choose ``count`` cores under ``policy``.
+
+        Placement is stateless with respect to previous calls (teams are
+        placed as a unit); oversubscription wraps around the core list,
+        mirroring what OMP_NUM_THREADS beyond the core count does.
+        """
+        if count < 1:
+            raise ConfigurationError("need at least one thread")
+        m = self.machine
+        if policy is Placement.SINGLE_NODE:
+            if node is None:
+                node = 0
+            m.validate_node(node)
+            cores = list(m.cores_of_node(node))
+        elif policy is Placement.COMPACT:
+            cores = [c for n in m.nodes for c in n.core_ids]
+        elif policy is Placement.SPREAD:
+            cores = []
+            per_node = [list(n.core_ids) for n in m.nodes]
+            depth = max(len(cs) for cs in per_node)
+            for i in range(depth):
+                for cs in per_node:
+                    if i < len(cs):
+                        cores.append(cs[i])
+        else:  # pragma: no cover - enum is exhaustive
+            raise ConfigurationError(f"unknown placement {policy}")
+        return [cores[i % len(cores)] for i in range(count)]
+
+    def record(self, cores: Sequence[int]) -> None:
+        """Track placed threads (informational load statistics)."""
+        self._load.update(cores)
+
+    def load_of_core(self, core: int) -> int:
+        """Threads recorded on ``core``."""
+        return self._load[core]
+
+    def least_loaded_core(self, node: int) -> int:
+        """The emptiest core of a node (for dynamic rebalancing demos)."""
+        self.machine.validate_node(node)
+        return min(self.machine.cores_of_node(node), key=lambda c: (self._load[c], c))

@@ -1,0 +1,253 @@
+"""Simulated threads: the user-level face of the whole stack.
+
+A :class:`SimThread` is bound to a core and runs a generator *body*.
+Everything an application would do — compute, touch memory, call
+syscalls — is exposed as generator methods to ``yield from``::
+
+    def body(t: SimThread):
+        addr = yield from t.mmap(1 << 20, PROT_RW)
+        yield from t.touch(addr, 1 << 20)                  # first-touch
+        yield from t.madvise(addr, 1 << 20, Madvise.NEXTTOUCH)
+        yield from t.compute(100.0)
+
+Thread-to-core binding is explicit (as with ``pthread_setaffinity``);
+:meth:`migrate_to` moves a thread to another core at a small cost,
+modelling what a NUMA-aware scheduler does before the next-touch
+policy pulls the data after it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..kernel import access as _access
+from ..kernel import syscalls as _sys
+from ..kernel.core import Kernel, SimProcess
+from ..kernel.mempolicy import MemPolicy
+from ..kernel.syscalls import Madvise
+from ..sim.engine import Process
+
+__all__ = ["SimThread"]
+
+
+class SimThread:
+    """One simulated thread of a simulated process."""
+
+    def __init__(self, process: SimProcess, core: int, name: str = "") -> None:
+        if not (0 <= core < process.kernel.machine.num_cores):
+            raise SimulationError(f"core {core} out of range")
+        if process.allowed_cores is not None and core not in process.allowed_cores:
+            raise SimulationError(f"core {core} outside the process's cpuset")
+        self.process = process
+        self.kernel: Kernel = process.kernel
+        self.tid = process.allocate_tid()
+        self.name = name or f"{process.name}.t{self.tid}"
+        self.core = core
+        self.in_signal_handler = False
+        self._proc: Optional[Process] = None
+
+    # ------------------------------------------------------------ lifecycle --
+    def start(self, body: Callable[["SimThread"], Generator]) -> Process:
+        """Run ``body(self)`` as this thread's execution; returns the
+        engine process (an event: yield it to join the thread)."""
+        if self._proc is not None:
+            raise SimulationError(f"thread {self.name} already started")
+        self.process.thread_started(self)
+
+        def _wrapper():
+            try:
+                result = yield from body(self)
+                return result
+            finally:
+                self.process.thread_stopped(self)
+
+        self._proc = self.kernel.env.process(_wrapper(), name=self.name)
+        return self._proc
+
+    def join(self) -> Process:
+        """The event that triggers when this thread's body returns."""
+        if self._proc is None:
+            raise SimulationError(f"thread {self.name} never started")
+        return self._proc
+
+    @property
+    def node(self) -> int:
+        """NUMA node of the thread's current core."""
+        return self.kernel.machine.node_of_core(self.core)
+
+    # ------------------------------------------------------------ scheduling --
+    def set_core(self, core: int) -> None:
+        """Rebind instantly (placement decisions before start)."""
+        if not (0 <= core < self.kernel.machine.num_cores):
+            raise SimulationError(f"core {core} out of range")
+        if self.process.allowed_cores is not None and core not in self.process.allowed_cores:
+            raise SimulationError(f"core {core} outside the process's cpuset")
+        if self._proc is not None:
+            self.process.thread_moved(self.core, core)
+        self.core = core
+
+    def migrate_to(self, core: int):
+        """Move the running thread to another core (scheduler action).
+
+        Charges the context-switch + cache-refill cost; afterwards the
+        thread faults and allocates on the new core's node.
+        """
+        yield self.kernel.charge("sched.migrate", self.kernel.cost.thread_migrate_us)
+        self.set_core(core)
+
+    def compute(self, duration_us: float, tag: str = "compute"):
+        """Pure CPU work for ``duration_us``."""
+        return self.kernel.charge(tag, duration_us)
+
+    # ------------------------------------------------------------ memory ------
+    def touch(
+        self,
+        addr: int,
+        nbytes: int,
+        *,
+        write: bool = True,
+        bytes_per_page: Optional[float] = None,
+        batch: int = 1,
+        tag: str = "access",
+    ):
+        """Touch a range (see :func:`repro.kernel.access.touch_range`)."""
+        return _access.touch_range(
+            self.kernel,
+            self,
+            addr,
+            nbytes,
+            write=write,
+            bytes_per_page=bytes_per_page,
+            batch=batch,
+            tag=tag,
+        )
+
+    def touch_pages(
+        self,
+        vma,
+        idxs,
+        *,
+        write: bool = True,
+        bytes_per_page: float = 0.0,
+        batch: int = 512,
+        tag: str = "access",
+    ):
+        """Touch a page-index set of one VMA (strided access patterns)."""
+        return _access.touch_pages(
+            self.kernel,
+            self,
+            vma,
+            idxs,
+            write=write,
+            bytes_per_page=bytes_per_page,
+            batch=batch,
+            tag=tag,
+        )
+
+    def memcpy(self, dst: int, src: int, nbytes: int):
+        """User-space copy between two mapped ranges."""
+        return _access.memcpy_range(self.kernel, self, dst, src, nbytes)
+
+    def write_bytes(self, addr: int, data):
+        """Store payload bytes (contents-tracking mode)."""
+        return _access.write_bytes(self.kernel, self, addr, data)
+
+    def read_bytes(self, addr: int, nbytes: int):
+        """Load payload bytes (contents-tracking mode)."""
+        return _access.read_bytes(self.kernel, self, addr, nbytes)
+
+    # ------------------------------------------------------------ syscalls ----
+    def mmap(
+        self,
+        nbytes: int,
+        prot: int,
+        *,
+        shared: bool = False,
+        policy: Optional[MemPolicy] = None,
+        name: str = "",
+    ):
+        """``mmap`` an anonymous region; returns its address."""
+        return _sys.sys_mmap(
+            self.kernel, self, nbytes, prot, shared=shared, policy=policy, name=name
+        )
+
+    def munmap(self, addr: int, nbytes: int):
+        """``munmap`` a range."""
+        return _sys.sys_munmap(self.kernel, self, addr, nbytes)
+
+    def mprotect(self, addr: int, nbytes: int, prot: int, *, tag: str = "mprotect"):
+        """``mprotect`` a range."""
+        return _sys.sys_mprotect(self.kernel, self, addr, nbytes, prot, tag=tag)
+
+    def madvise(self, addr: int, nbytes: int, advice: Madvise):
+        """``madvise`` a range (includes ``Madvise.NEXTTOUCH``)."""
+        return _sys.sys_madvise(self.kernel, self, addr, nbytes, advice)
+
+    def move_pages(self, pages, nodes, *, patched: bool = True, target=None):
+        """``move_pages``: migrate individual pages (of this process,
+        or of ``target`` — the real call's pid argument); returns
+        statuses."""
+        return _sys.sys_move_pages(
+            self.kernel, self, pages, nodes, patched=patched, target=target
+        )
+
+    def move_range(
+        self, addr: int, nbytes: int, node: int, *, patched: bool = True, target=None
+    ):
+        """Convenience: ``move_pages`` over a whole contiguous range."""
+        from ..util.units import PAGE_SIZE
+
+        npages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        pages = addr + PAGE_SIZE * np.arange(npages, dtype=np.int64)
+        return _sys.sys_move_pages(
+            self.kernel, self, pages, node, patched=patched, target=target
+        )
+
+    def migrate_pages(self, from_nodes: Sequence[int], to_nodes: Sequence[int], target=None):
+        """``migrate_pages``: move the whole process between node sets."""
+        return _sys.sys_migrate_pages(
+            self.kernel, self, target or self.process, from_nodes, to_nodes
+        )
+
+    def mbind(self, addr: int, nbytes: int, policy: MemPolicy, *, move: bool = False):
+        """``mbind``: set a range's memory policy (``move`` =
+        MPOL_MF_MOVE: migrate nonconforming pages now)."""
+        return _sys.sys_mbind(self.kernel, self, addr, nbytes, policy, move=move)
+
+    def set_mempolicy(self, policy: MemPolicy):
+        """``set_mempolicy``: set the process default policy."""
+        return _sys.sys_set_mempolicy(self.kernel, self, policy)
+
+    def get_mempolicy(self, addr: Optional[int] = None):
+        """``get_mempolicy``: query a page's node or the default policy."""
+        return _sys.sys_get_mempolicy(self.kernel, self, addr)
+
+    def mlock(self, addr: int, nbytes: int, *, lock: bool = True):
+        """``mlock``/``munlock``: pin a range against swap-out
+        (faults it in, as the real call does)."""
+        return _sys.sys_mlock(self.kernel, self, addr, nbytes, lock=lock)
+
+    def fork(self):
+        """``fork``: clone the process copy-on-write; returns the
+        child :class:`~repro.kernel.core.SimProcess` (spawn threads
+        into it to 'run' it)."""
+        from ..kernel import fork as _fork
+
+        return _fork.sys_fork(self.kernel, self)
+
+    def swap_out(self, addr: int, nbytes: int):
+        """Forced swap-out (the primitive 2009 Linux lacked; see
+        :mod:`repro.kernel.swap`). Needs an attached swap device."""
+        from ..kernel import swap as _swap
+
+        return _swap.sys_swap_out(self.kernel, self, addr, nbytes)
+
+    def sigaction(self, signum: int, handler) -> None:
+        """Install a signal handler (process-wide, as in POSIX)."""
+        self.process.sigaction(signum, handler)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimThread {self.name} core={self.core} node={self.node}>"

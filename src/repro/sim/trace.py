@@ -1,0 +1,114 @@
+"""Event tracing: record charged operations as a timeline.
+
+A :class:`Tracer` hooks the kernel's charge path and keeps a bounded
+record of ``(start, duration, tag)`` samples. Besides debugging, it
+powers :meth:`Tracer.timeline`, an ASCII rendering of where simulated
+time went — a poor man's Gantt chart for the simulated machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Optional
+
+__all__ = ["TraceSample", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One recorded charge."""
+
+    start_us: float
+    duration_us: float
+    tag: str
+
+    @property
+    def end_us(self) -> float:
+        """Exclusive end time."""
+        return self.start_us + self.duration_us
+
+
+class Tracer:
+    """Bounded trace recorder, attachable to a kernel."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._samples: Deque[TraceSample] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    # ------------------------------------------------------------ recording --
+    def record(self, start_us: float, duration_us: float, tag: str) -> None:
+        """Store one sample (oldest evicted beyond capacity)."""
+        if len(self._samples) == self.capacity:
+            self.dropped += 1
+        self._samples.append(TraceSample(start_us, duration_us, tag))
+
+    def attach(self, kernel) -> None:
+        """Hook a kernel so every ledger entry is recorded.
+
+        All charged time funnels through ``kernel.ledger.add`` — both
+        prospective charges (the sample starts now) and retrospective
+        ones like measured copy phases (the sample ended now).
+        """
+        ledger = kernel.ledger
+        original = ledger.add
+
+        def adding(tag: str, duration_us: float) -> None:
+            self.record(kernel.env.now, duration_us, tag)
+            original(tag, duration_us)
+
+        ledger.add = adding
+
+    # ------------------------------------------------------------ queries ----
+    @property
+    def samples(self) -> tuple[TraceSample, ...]:
+        """All retained samples in record order."""
+        return tuple(self._samples)
+
+    def filter(self, prefix: str) -> list[TraceSample]:
+        """Samples whose tag starts with ``prefix``."""
+        return [s for s in self._samples if s.tag.startswith(prefix)]
+
+    def total(self, prefix: str = "") -> float:
+        """Summed duration over matching samples."""
+        return sum(s.duration_us for s in self._samples if s.tag.startswith(prefix))
+
+    def span(self) -> tuple[float, float]:
+        """(first start, last end) over the trace."""
+        if not self._samples:
+            return (0.0, 0.0)
+        return (
+            min(s.start_us for s in self._samples),
+            max(s.end_us for s in self._samples),
+        )
+
+    # ------------------------------------------------------------ rendering --
+    def timeline(self, width: int = 72, groups: Optional[Iterable[str]] = None) -> str:
+        """ASCII activity bars per tag group over the traced span."""
+        lo, hi = self.span()
+        if hi <= lo:
+            return "trace: empty"
+        if groups is None:
+            groups = sorted({s.tag.split(".")[0] for s in self._samples})
+        scale = width / (hi - lo)
+        lines = [f"trace span: {lo:.1f} .. {hi:.1f} us ({hi - lo:.1f} us)"]
+        for group in groups:
+            cells = [0.0] * width
+            for s in self._samples:
+                if not s.tag.startswith(group):
+                    continue
+                a = int((s.start_us - lo) * scale)
+                b = max(a + 1, int((s.end_us - lo) * scale))
+                for i in range(a, min(b, width)):
+                    cells[i] += 1.0
+            peak = max(cells) if any(cells) else 0.0
+            if peak == 0:
+                bar = " " * width
+            else:
+                marks = " .:#"
+                bar = "".join(marks[min(3, int(3 * c / peak + (c > 0)))] for c in cells)
+            lines.append(f"{group:>12} |{bar}|")
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Shared utilities: units, tables, statistics."""
+
+from .units import (
+    GB,
+    GiB,
+    HUGE_PAGE_SIZE,
+    KiB,
+    MB,
+    MiB,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    bytes_per_us,
+    bytes_to_pages,
+    fmt_bytes,
+    fmt_throughput,
+    mb_per_s,
+    pages_to_bytes,
+)
+from .tables import render_series, render_table
+from .stats import crossover_index, geomean, improvement_percent, speedup
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "HUGE_PAGE_SIZE",
+    "KiB",
+    "MiB",
+    "GiB",
+    "MB",
+    "GB",
+    "pages_to_bytes",
+    "bytes_to_pages",
+    "mb_per_s",
+    "bytes_per_us",
+    "fmt_bytes",
+    "fmt_throughput",
+    "render_table",
+    "render_series",
+    "geomean",
+    "speedup",
+    "improvement_percent",
+    "crossover_index",
+]

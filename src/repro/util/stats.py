@@ -1,0 +1,52 @@
+"""Small statistics helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["geomean", "speedup", "improvement_percent", "crossover_index"]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; raises on non-positive entries."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``."""
+    if improved <= 0:
+        raise ValueError("non-positive improved time")
+    return baseline / improved
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Signed percentage improvement, matching the paper's Table 1.
+
+    ``+26.5`` means the improved run was 26.5 % faster (old/new - 1);
+    negative values mean a slowdown — exactly how the paper reports
+    ``(static - nexttouch) / nexttouch``.
+    """
+    if improved <= 0:
+        raise ValueError("non-positive improved time")
+    return (baseline / improved - 1.0) * 100.0
+
+
+def crossover_index(xs: Sequence[float], a: Sequence[float], b: Sequence[float]) -> int | None:
+    """Index of the first x where series ``b`` becomes <= series ``a``.
+
+    Used to locate thresholds like the paper's 512-element block size
+    where next-touch starts winning. Returns None if no crossover.
+    """
+    if not (len(xs) == len(a) == len(b)):
+        raise ValueError("length mismatch")
+    for i in range(len(xs)):
+        if b[i] <= a[i]:
+            return i
+    return None

@@ -1,0 +1,80 @@
+"""Units and conversions used throughout the package.
+
+The simulated machine uses Linux x86-64 conventions: 4 KiB base pages,
+2 MiB huge pages. Throughputs in the paper are quoted in MB/s
+(decimal megabytes, as gnuplot axes of the era were), so helpers for
+both binary sizes and decimal rates are provided.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "HUGE_PAGE_SIZE",
+    "KiB",
+    "MiB",
+    "GiB",
+    "MB",
+    "GB",
+    "pages_to_bytes",
+    "bytes_to_pages",
+    "mb_per_s",
+    "bytes_per_us",
+    "fmt_bytes",
+    "fmt_throughput",
+]
+
+#: log2 of the base page size.
+PAGE_SHIFT: int = 12
+#: Base (small) page size in bytes — 4 KiB, as on x86-64 Linux.
+PAGE_SIZE: int = 1 << PAGE_SHIFT
+#: Huge page size in bytes — 2 MiB.
+HUGE_PAGE_SIZE: int = 2 * 1024 * 1024
+
+KiB: int = 1024
+MiB: int = 1024 * 1024
+GiB: int = 1024 * 1024 * 1024
+#: Decimal megabyte (used for MB/s throughputs, matching the paper).
+MB: int = 10**6
+#: Decimal gigabyte.
+GB: int = 10**9
+
+
+def pages_to_bytes(npages: int) -> int:
+    """Size in bytes of ``npages`` base pages."""
+    return npages << PAGE_SHIFT
+
+
+def bytes_to_pages(nbytes: int) -> int:
+    """Number of base pages covering ``nbytes`` (rounded up)."""
+    return (nbytes + PAGE_SIZE - 1) >> PAGE_SHIFT
+
+
+def mb_per_s(nbytes: float, elapsed_us: float) -> float:
+    """Throughput in MB/s (decimal) for ``nbytes`` over ``elapsed_us``."""
+    if elapsed_us <= 0:
+        return float("inf")
+    return (nbytes / MB) / (elapsed_us / 1e6)
+
+
+def bytes_per_us(mb_s: float) -> float:
+    """Convert an MB/s figure into the engine's bytes/µs rate unit."""
+    return mb_s * MB / 1e6
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable binary size (e.g. ``"64.0 KiB"``)."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_throughput(mb_s: float) -> str:
+    """Render an MB/s figure the way the paper's plots label it."""
+    if mb_s >= 1000:
+        return f"{mb_s / 1000:.2f} GB/s"
+    return f"{mb_s:.0f} MB/s"

@@ -1,0 +1,31 @@
+"""Shared fixtures and driver helpers for the test suite."""
+
+import pytest
+
+from repro import System
+
+
+@pytest.fixture
+def system():
+    """A paper-platform system with content tracking and debug checks."""
+    return System(track_contents=True, debug_checks=True)
+
+
+@pytest.fixture
+def fast_system():
+    """A system without the heavier verification machinery."""
+    return System()
+
+
+def drive(sys_, body, core=0, process=None, name="test"):
+    """Run a single thread body to completion; returns its value."""
+    proc = process or sys_.create_process(name)
+    thread = sys_.spawn(proc, core, body)
+    return sys_.run_to(thread.join())
+
+
+def drive_many(sys_, bodies_and_cores, process=None, name="test"):
+    """Run several thread bodies concurrently; returns their values."""
+    proc = process or sys_.create_process(name)
+    threads = [sys_.spawn(proc, core, body) for body, core in bodies_and_cores]
+    return [sys_.run_to(t.join()) for t in threads]

@@ -1,0 +1,82 @@
+"""Tests for the cost ledger and kernel statistics."""
+
+import pytest
+
+from conftest import drive
+from repro import PROT_RW, System
+from repro.kernel.accounting import Ledger
+from repro.util import PAGE_SIZE
+
+
+def test_ledger_add_and_total():
+    led = Ledger()
+    led.add("a.x", 10.0)
+    led.add("a.y", 5.0)
+    led.add("b", 2.5)
+    assert led.total() == pytest.approx(17.5)
+    assert led.total("a.") == pytest.approx(15.0)
+    assert led.total("a.x", "b") == pytest.approx(12.5)
+    assert led.counts["a.x"] == 1
+
+
+def test_ledger_reset():
+    led = Ledger()
+    led.add("x", 1.0)
+    led.reset()
+    assert led.total() == 0.0
+    assert led.snapshot() == {}
+
+
+def test_ledger_fractions_group_and_other():
+    led = Ledger()
+    led.add("copy.page", 60.0)
+    led.add("control.pte", 30.0)
+    led.add("misc", 10.0)
+    frac = led.fractions({"copy": ("copy.",), "control": ("control.",)})
+    assert frac["copy"] == pytest.approx(60.0)
+    assert frac["control"] == pytest.approx(30.0)
+    assert frac["other"] == pytest.approx(10.0)
+
+
+def test_ledger_fractions_drop_empty_other():
+    led = Ledger()
+    led.add("copy.page", 1.0)
+    frac = led.fractions({"copy": ("copy.",)})
+    assert "other" not in frac
+    assert frac["copy"] == pytest.approx(100.0)
+
+
+def test_charge_advances_clock_and_records(system):
+    def body(t):
+        yield system.kernel.charge("test.tag", 123.0)
+        return system.now
+
+    assert drive(system, body) == pytest.approx(123.0)
+    assert system.kernel.ledger.totals["test.tag"] == pytest.approx(123.0)
+
+
+def test_kernel_stats_counters(system):
+    def body(t):
+        addr = yield from t.mmap(8 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+        yield from t.move_range(addr, 8 * PAGE_SIZE, 1)
+
+    drive(system, body, core=0)
+    stats = system.kernel.stats
+    assert stats.pages_first_touched == 8
+    assert stats.minor_faults == 8
+    assert stats.pages_migrated == 8
+    assert stats.tlb_shootdowns >= 8  # per-page flushes in move_pages
+
+
+def test_node_free_pages_reflects_usage(system):
+    free_before = system.kernel.node_free_pages()
+
+    def body(t):
+        addr = yield from t.mmap(16 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 16 * PAGE_SIZE)
+
+    drive(system, body, core=0)
+    free_after = system.kernel.node_free_pages()
+    assert free_before[0] - free_after[0] == 16
+    assert free_before[1:] == free_after[1:]

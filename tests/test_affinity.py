@@ -1,0 +1,121 @@
+"""Tests for the joined thread+memory affinity manager."""
+
+import pytest
+
+from conftest import drive
+from repro import PROT_RW, System
+from repro.errors import ConfigurationError
+from repro.nexttouch import SyncMovePages
+from repro.sched.affinity import AffinityManager
+from repro.util import PAGE_SIZE
+
+
+def test_lazy_comigration_data_follows_on_touch(system):
+    mgr = AffinityManager(system)
+    proc = system.create_process("aff")
+
+    def body(t):
+        addr = yield from t.mmap(32 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 32 * PAGE_SIZE)
+        mgr.attach(t, addr, 32 * PAGE_SIZE)
+        armed = yield from mgr.migrate_thread(t, 9)  # node 2
+        hist_before_touch = proc.addr_space.node_histogram().tolist()
+        yield from t.touch(addr, 32 * PAGE_SIZE, bytes_per_page=64)
+        return armed, hist_before_touch, proc.addr_space.node_histogram().tolist()
+
+    armed, before, after = drive(system, body, core=0, process=proc)
+    assert armed == 32 * PAGE_SIZE
+    assert before == [32, 0, 0, 0]  # lazy: nothing moved yet
+    assert after == [0, 0, 32, 0]  # data followed on first touch
+    assert mgr.threads_moved == 1
+
+
+def test_sync_strategy_moves_immediately(system):
+    mgr = AffinityManager(system, strategy=SyncMovePages())
+    proc = system.create_process("aff-sync")
+
+    def body(t):
+        addr = yield from t.mmap(16 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 16 * PAGE_SIZE)
+        mgr.attach(t, addr, 16 * PAGE_SIZE)
+        yield from mgr.migrate_thread(t, 13)  # node 3
+        return proc.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=0, process=proc) == [0, 0, 0, 16]
+
+
+def test_same_node_move_arms_nothing(system):
+    mgr = AffinityManager(system)
+
+    def body(t):
+        addr = yield from t.mmap(8 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+        mgr.attach(t, addr, 8 * PAGE_SIZE)
+        armed = yield from mgr.migrate_thread(t, 1)  # still node 0
+        return armed
+
+    assert drive(system, body, core=0) == 0
+    assert mgr.bytes_armed == 0
+
+
+def test_detached_buffers_stay_put(system):
+    mgr = AffinityManager(system)
+    proc = system.create_process("aff-det")
+
+    def body(t):
+        addr = yield from t.mmap(8 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+        att = mgr.attach(t, addr, 8 * PAGE_SIZE)
+        mgr.detach(t, att)
+        yield from mgr.migrate_thread(t, 9)
+        yield from t.touch(addr, 8 * PAGE_SIZE, bytes_per_page=64)
+        return proc.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=0, process=proc) == [8, 0, 0, 0]
+    assert mgr.attachments_of.__self__ is mgr  # sanity of the API
+
+
+def test_rebalance_moves_many(system):
+    mgr = AffinityManager(system)
+    proc = system.create_process("aff-many")
+    ready = {}
+
+    def worker(name, core):
+        def body(t):
+            addr = yield from t.mmap(8 * PAGE_SIZE, PROT_RW)
+            yield from t.touch(addr, 8 * PAGE_SIZE)
+            mgr.attach(t, addr, 8 * PAGE_SIZE)
+            ready[name] = (t, addr)
+            # park until the coordinator rebalanced us
+            while t.node == system.machine.node_of_core(core):
+                yield t.kernel.env.timeout(10.0)
+            yield from t.touch(addr, 8 * PAGE_SIZE, bytes_per_page=64)
+
+        return body
+
+    t1 = system.spawn(proc, 0, worker("a", 0))
+    t2 = system.spawn(proc, 4, worker("b", 4))
+
+    def coordinator(t):
+        yield t.kernel.env.timeout(50.0)
+        yield from mgr.rebalance({ready["a"][0]: 9, ready["b"][0]: 13})
+
+    system.spawn(proc, 2, coordinator)
+    system.run_to(t1.join())
+    system.run_to(t2.join())
+    system.run()
+    hist = proc.addr_space.node_histogram().tolist()
+    assert hist == [0, 0, 8, 8]
+    assert mgr.threads_moved == 2
+
+
+def test_attach_validation(system):
+    mgr = AffinityManager(system)
+    proc = system.create_process("bad")
+
+    def body(t):
+        yield t.kernel.env.timeout(0)
+        with pytest.raises(ConfigurationError):
+            mgr.attach(t, 0, 0)
+
+    drive(system, body, process=proc)

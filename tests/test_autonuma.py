@@ -1,0 +1,103 @@
+"""Tests for the AutoNUMA-style periodic next-touch scanner."""
+
+import pytest
+
+from conftest import drive
+from repro import PROT_RW, System
+from repro.ext import AutoNumaScanner
+from repro.util import PAGE_SIZE
+
+
+def test_scanner_marks_and_data_follows_threads(system):
+    """With no application hooks at all, periodically-marked pages
+    migrate to whichever thread keeps touching them."""
+    proc = system.create_process("auto")
+    shared = {}
+
+    def owner(t):
+        addr = yield from t.mmap(256 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 256 * PAGE_SIZE, batch=64)
+        shared["addr"] = addr
+
+    drive(system, owner, core=0, process=proc)
+    scanner = AutoNumaScanner(proc, scan_period_us=500.0, scan_pages=256)
+    scanner.start()
+
+    def worker(t):
+        # A thread on node 2 keeps re-reading the buffer.
+        for _ in range(30):
+            yield from t.touch(shared["addr"], 256 * PAGE_SIZE, bytes_per_page=64, batch=64)
+            yield t.kernel.env.timeout(200.0)
+
+    w = system.spawn(proc, 9, worker)  # node 2
+    system.run_to(w.join())
+    scanner.stop()
+    system.run()
+    hist = proc.addr_space.node_histogram()
+    assert hist[2] == 256  # everything converged to the toucher's node
+    assert scanner.scans > 5
+    assert scanner.pages_marked >= 256
+
+
+def test_scanner_respects_page_budget(system):
+    proc = system.create_process("budget")
+    shared = {}
+
+    def owner(t):
+        addr = yield from t.mmap(128 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 128 * PAGE_SIZE, batch=64)
+        shared["addr"] = addr
+
+    drive(system, owner, core=0, process=proc)
+    scanner = AutoNumaScanner(proc, scan_period_us=100.0, scan_pages=16)
+    scanner.start()
+    system.run(until=system.now + 150.0)  # exactly one scan fires
+    scanner.stop()
+    system.run()
+    assert scanner.pages_marked <= 16
+
+
+def test_scanner_skips_shared_mappings(system):
+    proc = system.create_process("skip-shared")
+
+    def owner(t):
+        addr = yield from t.mmap(32 * PAGE_SIZE, PROT_RW, shared=True)
+        yield from t.touch(addr, 32 * PAGE_SIZE, batch=32)
+
+    drive(system, owner, core=0, process=proc)
+    scanner = AutoNumaScanner(proc, scan_period_us=100.0, scan_pages=1024)
+    scanner.start()
+    system.run(until=system.now + 350.0)
+    scanner.stop()
+    system.run()
+    assert scanner.pages_marked == 0
+
+
+def test_scanner_stop_is_clean(system):
+    proc = system.create_process("stop")
+    scanner = AutoNumaScanner(proc, scan_period_us=100.0)
+    p = scanner.start()
+    system.run(until=system.now + 50.0)
+    scanner.stop()
+    system.run()
+    assert not p.is_alive
+    with pytest.raises(RuntimeError):
+        scanner.start()
+
+
+def test_scanner_charges_scan_costs(system):
+    proc = system.create_process("cost")
+    shared = {}
+
+    def owner(t):
+        addr = yield from t.mmap(64 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 64 * PAGE_SIZE, batch=64)
+        shared["addr"] = addr
+
+    drive(system, owner, core=0, process=proc)
+    scanner = AutoNumaScanner(proc, scan_period_us=200.0, scan_pages=64)
+    scanner.start()
+    system.run(until=system.now + 1000.0)
+    scanner.stop()
+    system.run()
+    assert system.kernel.ledger.totals.get("autonuma.scan", 0.0) > 0

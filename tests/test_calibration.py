@@ -1,0 +1,56 @@
+"""Tests for the calibration-report module."""
+
+import pytest
+
+from repro.experiments.calibration import (
+    Anchor,
+    calibration_report,
+    derive_anchors,
+    sensitivity,
+)
+from repro.hardware.timing import opteron_8347he
+
+
+def test_default_profile_hits_every_anchor():
+    """The shipped profile must satisfy all of the paper's anchors."""
+    for anchor in derive_anchors():
+        assert anchor.ok, f"{anchor.name}: {anchor.derived} vs {anchor.paper}"
+
+
+def test_report_renders_all_rows():
+    report = calibration_report()
+    assert report.count("ok") >= 12
+    assert "OFF" not in report
+
+
+def test_detuned_profile_flagged():
+    bad = opteron_8347he().replace(kernel_page_copy_bw=300.0)
+    anchors = {a.name: a for a in derive_anchors(bad)}
+    assert not anchors["kernel page copy rate"].ok
+    assert not anchors["move_pages asymptotic throughput"].ok
+    assert "OFF" in calibration_report(bad)
+
+
+def test_anchor_deviation_math():
+    a = Anchor("x", derived=110.0, paper=100.0, unit="u", tolerance=0.05)
+    assert a.deviation == pytest.approx(0.10)
+    assert not a.ok
+
+
+def test_sensitivity_signs_make_sense():
+    sens = sensitivity(bump=0.10)
+    # Faster copy -> higher throughput for both mechanisms.
+    assert sens["kernel_page_copy_bw"]["move_pages MB/s"] > 0
+    assert sens["kernel_page_copy_bw"]["kernel NT MB/s"] > 0
+    # More control cost -> lower throughput, higher control share.
+    assert sens["nt_fault_control_us"]["kernel NT MB/s"] < 0
+    assert sens["nt_fault_control_us"]["NT control %"] > 0
+    # move_pages control does not touch the NT fast path.
+    assert sens["move_pages_page_control_us"]["kernel NT MB/s"] == 0
+
+
+def test_sensitivity_custom_constant_list():
+    sens = sensitivity(["memcpy_remote_bw"])
+    assert list(sens) == ["memcpy_remote_bw"]
+    # memcpy bandwidth affects none of the watched kernel quantities.
+    assert all(v == 0 for v in sens["memcpy_remote_bw"].values())

@@ -1,0 +1,148 @@
+"""Tests for cpusets — the administrative migrate_pages use case."""
+
+import pytest
+
+from conftest import drive
+from repro import PROT_RW, System
+from repro.errors import ConfigurationError, OutOfMemory, SimulationError
+from repro.kernel.mempolicy import MemPolicy
+from repro.sched.cpuset import CpusetManager
+from repro.sched.thread import SimThread
+from repro.util import PAGE_SIZE
+
+
+@pytest.fixture
+def mgr(system):
+    return CpusetManager(system)
+
+
+def test_create_and_get(mgr):
+    left = mgr.create("left", cores=(0, 1, 2, 3), mems=(0,))
+    assert mgr.get("left") is left
+    with pytest.raises(ConfigurationError):
+        mgr.create("left", cores=(4,), mems=(1,))
+    with pytest.raises(ConfigurationError):
+        mgr.create("overlap", cores=(3, 4), mems=(1,))  # core 3 taken
+    with pytest.raises(ConfigurationError):
+        mgr.create("bad", cores=(99,), mems=(0,))
+
+
+def test_allocation_confined_to_mems(system, mgr):
+    left = mgr.create("left", cores=(0, 1), mems=(0,))
+    proc = system.create_process("confined")
+    mgr.attach(proc, left)
+
+    def body(t):
+        addr = yield from t.mmap(8 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+        return proc.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=0, process=proc) == [8, 0, 0, 0]
+
+
+def test_interleave_clamped_to_mems(system, mgr):
+    pair = mgr.create("pair", cores=(0, 1, 4, 5), mems=(0, 1))
+    proc = system.create_process("ilv")
+    mgr.attach(proc, pair)
+
+    def body(t):
+        addr = yield from t.mmap(
+            8 * PAGE_SIZE, PROT_RW, policy=MemPolicy.interleave(0, 1, 2, 3)
+        )
+        yield from t.touch(addr, 8 * PAGE_SIZE, batch=8)
+        return proc.addr_space.node_histogram().tolist()
+
+    hist = drive(system, body, core=0, process=proc)
+    assert hist[2] == 0 and hist[3] == 0  # never outside the cpuset
+    assert sum(hist) == 8
+
+
+def test_bind_outside_mems_fails(system, mgr):
+    left = mgr.create("left", cores=(0,), mems=(0,))
+    proc = system.create_process("boom")
+    mgr.attach(proc, left)
+
+    def body(t):
+        addr = yield from t.mmap(PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(3))
+        yield from t.touch(addr, PAGE_SIZE)
+
+    thread = system.spawn(proc, 0, body)
+    with pytest.raises(OutOfMemory):
+        system.run_to(thread.join())
+
+
+def test_thread_placement_confined(system, mgr):
+    left = mgr.create("left", cores=(0, 1), mems=(0,))
+    proc = system.create_process("place")
+    mgr.attach(proc, left)
+    with pytest.raises(SimulationError, match="cpuset"):
+        SimThread(proc, 8)
+
+    def body(t):
+        yield from t.migrate_to(9)
+
+    thread = system.spawn(proc, 0, body)
+    with pytest.raises(SimulationError, match="cpuset"):
+        system.run_to(thread.join())
+
+
+def test_move_rehomes_process(system, mgr):
+    """The Section 2.3 story: an admin splits the machine and later
+    moves a whole job — threads AND memory — to the other half."""
+    left = mgr.create("left", cores=(0, 1, 2, 3), mems=(0,))
+    right = mgr.create("right", cores=(12, 13, 14, 15), mems=(3,))
+    job = system.create_process("job")
+    mgr.attach(job, left)
+    box = {}
+
+    def worker(t):
+        addr = yield from t.mmap(32 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 32 * PAGE_SIZE)
+        box["addr"] = addr
+        # Keep running while the admin moves us.
+        for _ in range(40):
+            yield t.kernel.env.timeout(50.0)
+            yield from t.touch(addr, 32 * PAGE_SIZE, bytes_per_page=64)
+        box["final_node"] = t.node
+
+    w = system.spawn(job, 0, worker)
+    admin_proc = system.create_process("admin")
+
+    def admin(t):
+        yield t.kernel.env.timeout(300.0)
+        moved = yield from mgr.move(t, job, right)
+        box["moved"] = moved
+
+    system.spawn(admin_proc, 8, admin)
+    system.run_to(w.join())
+    system.run()
+    assert box["moved"] == 32
+    assert box["final_node"] == 3
+    assert job.addr_space.node_histogram().tolist() == [0, 0, 0, 32]
+    assert mgr.cpuset_of(job) is right
+
+
+def test_move_to_same_set_is_noop(system, mgr):
+    left = mgr.create("left", cores=(0,), mems=(0,))
+    proc = system.create_process("same")
+    mgr.attach(proc, left)
+
+    def body(t):
+        moved = yield from mgr.move(t, proc, left)
+        return moved
+
+    assert drive(system, body, core=0, process=proc) == 0
+
+
+def test_move_unattached_process_rejected(system, mgr):
+    right = mgr.create("right", cores=(8,), mems=(2,))
+    proc = system.create_process("loose")
+
+    def body(t):
+        yield from mgr.move(t, proc, right)
+
+    # the admin thread lives in another (unconfined) process
+    admin = system.create_process("admin")
+    thread = system.spawn(admin, 0, body)
+    with pytest.raises(ConfigurationError):
+        system.run_to(thread.join())

@@ -1,0 +1,183 @@
+"""Edge-case tests for the event engine's less-travelled paths."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError, match="empty"):
+        env.step()
+
+
+def test_run_with_no_events_is_fine():
+    env = Environment()
+    env.run()
+    assert env.now == 0.0
+
+
+def test_run_until_time_with_later_events_leaves_them_queued():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(100.0)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run(until=50.0)
+    assert fired == []
+    assert env.now == 50.0
+    env.run()
+    assert fired == [100.0]
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        return value
+
+    p = env.process(proc())
+    assert env.run(until=p) == "payload"
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_all_of_failure_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def good():
+        yield env.timeout(5.0)
+
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield env.all_of([env.process(bad()), env.process(good())])
+        return "caught"
+
+    p = env.process(waiter())
+    assert env.run(until=p) == "caught"
+
+
+def test_any_of_with_already_processed_event():
+    env = Environment()
+
+    def proc():
+        fast = env.timeout(1.0, value="fast")
+        yield fast  # fast is processed now
+        ev, value = yield env.any_of([fast, env.timeout(50.0)])
+        return value
+
+    p = env.process(proc())
+    assert env.run(until=p) == "fast"
+    assert env.now == 1.0  # did not wait for the slow timeout
+
+
+def test_all_of_empty_list_succeeds_immediately():
+    env = Environment()
+
+    def proc():
+        values = yield env.all_of([])
+        return values
+
+    p = env.process(proc())
+    assert env.run(until=p) == []
+
+
+def test_condition_rejects_foreign_events():
+    env_a, env_b = Environment(), Environment()
+    with pytest.raises(SimulationError, match="different environments"):
+        AllOf(env_a, [env_b.timeout(1.0)])
+
+
+def test_nested_process_chains_return_values():
+    env = Environment()
+
+    def leaf():
+        yield env.timeout(1.0)
+        return 1
+
+    def middle():
+        v = yield env.process(leaf())
+        return v + 1
+
+    def root():
+        v = yield env.process(middle())
+        return v + 1
+
+    p = env.process(root())
+    assert env.run(until=p) == 3
+
+
+def test_interrupt_cause_is_accessible():
+    from repro.sim import Interrupt
+
+    env = Environment()
+    seen = {}
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            seen["cause"] = intr.cause
+
+    def poker(target):
+        yield env.timeout(1.0)
+        target.interrupt({"reason": "test"})
+
+    t = env.process(sleeper())
+    env.process(poker(t))
+    env.run()
+    assert seen["cause"] == {"reason": "test"}
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5.0)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_events_fifo_across_processes_and_direct_events():
+    env = Environment()
+    order = []
+
+    def proc(tag, delay):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc("a", 2.0))
+    env.process(proc("b", 1.0))
+    env.process(proc("c", 2.0))
+    env.run()
+    assert order == ["b", "a", "c"]

@@ -1,0 +1,167 @@
+"""Smoke tests for the experiment harness (tiny parameter ranges).
+
+The heavy shape assertions live in ``benchmarks/``; these verify the
+harness mechanics: result structure, determinism, rendering, CLI.
+"""
+
+import pytest
+
+from repro.experiments import (
+    blas1_check,
+    fig4_throughput,
+    fig5_nexttouch,
+    fig6_breakdown,
+    fig7_scalability,
+    fig8_matmul,
+    table1_lu,
+)
+from repro.experiments.cli import main as cli_main
+from repro.experiments.common import ExperimentResult, default_page_counts
+
+
+def test_default_page_counts():
+    assert default_page_counts(1, 16) == [1, 2, 4, 8, 16]
+    assert default_page_counts(4, 4) == [4]
+
+
+def test_result_render_and_series():
+    r = ExperimentResult("x", "Title", "n", [1, 2], {"a": [3.0, 4.0]}, notes=["hello"])
+    text = r.render()
+    assert "Title" in text and "hello" in text
+    assert r.series_of("a") == [3.0, 4.0]
+    with pytest.raises(KeyError):
+        r.series_of("missing")
+
+
+def test_fig4_structure():
+    r = fig4_throughput.run([4, 16])
+    assert r.experiment_id == "fig4"
+    assert set(r.series) == set(fig4_throughput.SERIES)
+    assert all(len(v) == 2 for v in r.series.values())
+    assert all(v > 0 for vs in r.series.values() for v in vs)
+
+
+def test_fig4_is_deterministic():
+    a = fig4_throughput.run([16])
+    b = fig4_throughput.run([16])
+    assert a.series == b.series
+
+
+def test_fig5_structure():
+    r = fig5_nexttouch.run([4, 16])
+    assert set(r.series) == set(fig5_nexttouch.SERIES)
+
+
+def test_fig6_breakdowns_sum_to_100():
+    for result in (fig6_breakdown.run_user([16]), fig6_breakdown.run_kernel([16])):
+        total = sum(series[0] for series in result.series.values())
+        assert total == pytest.approx(100.0, abs=0.01)
+
+
+def test_fig7_structure():
+    r = fig7_scalability.run([64], thread_counts=(1, 2))
+    assert "Sync - 1 Thread" in r.series
+    assert "Lazy - 2 Threads" in r.series
+
+
+def test_fig7_rejects_bad_strategy():
+    from repro.experiments.fig7_scalability import measure_parallel_migration
+
+    with pytest.raises(ValueError):
+        measure_parallel_migration(16, 1, "teleport")
+
+
+def test_fig8_structure():
+    r = fig8_matmul.run([128], num_threads=4)
+    assert set(r.series) == set(fig8_matmul.SERIES)
+
+
+def test_table1_structure():
+    r = table1_lu.run(configs=((1024, 256),), num_threads=4)
+    assert r.series["static (s)"][0] > 0
+    assert r.series["next-touch (s)"][0] > 0
+    assert len(r.series["paper %"]) == 1
+
+
+def test_blas1_structure():
+    r = blas1_check.run([1 << 14], num_threads=4)
+    assert len(r.series["improvement %"]) == 1
+
+
+def test_result_to_csv():
+    r = ExperimentResult("xid", "T", "n", [1, 2], {"a": [3, 4], "b": [5, 6]})
+    csv_text = r.to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "n,a,b"
+    assert lines[1] == "1,3,5"
+    assert lines[2] == "2,4,6"
+
+
+def test_result_save_csv(tmp_path):
+    r = ExperimentResult("fig99", "T", "n", [1], {"a": [2.5]})
+    path = r.save_csv(tmp_path)
+    assert path.endswith("fig99.csv")
+    assert "2.5" in open(path).read()
+
+
+def test_cli_csv_flag(tmp_path, capsys):
+    assert cli_main(["fig5", "--csv", str(tmp_path)]) == 0
+    assert (tmp_path / "fig5.csv").exists()
+
+
+def test_cli_runs_one_experiment(capsys):
+    assert cli_main(["fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "Kernel Next-touch" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        cli_main(["fig99"])
+
+
+def test_whatif_machines_structure():
+    from repro.experiments import whatif_machines as wm
+
+    r = wm.run_machines([16])
+    assert set(r.series) == set(wm.MACHINES)
+    # Same per-page mechanism everywhere.
+    values = [r.series[name][0] for name in r.series]
+    assert max(values) - min(values) < 1.0
+
+
+def test_whatif_numa_factor_payoff_monotonic():
+    from repro.experiments import whatif_machines as wm
+
+    r = wm.run_numa_factors([1.2, 2.0, 3.0])
+    passes = r.series_of("passes to amortize migration")
+    assert passes[0] > passes[1] > passes[2]
+
+
+def test_cli_whatif_and_calibration(capsys):
+    assert cli_main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "move_pages base overhead" in out
+
+
+def test_cli_fig3_topology(capsys):
+    assert cli_main(["fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "opteron-8347he-quad" in out
+    assert "Transport" in out
+
+
+def test_whatif_eras_structure():
+    from repro.experiments import whatif_machines as wm
+
+    r = wm.run_eras(npages=256)
+    assert "2009 4x Opteron (paper)" in r.series
+    assert "modern 2-socket" in r.series
+    old = dict(zip(r.xs, r.series["2009 4x Opteron (paper)"]))
+    new = dict(zip(r.xs, r.series["modern 2-socket"]))
+    # The mechanism is far faster today...
+    assert new["kernel NT MB/s"] > old["kernel NT MB/s"] * 3
+    assert new["move_pages base us"] < old["move_pages base us"] / 3
+    # ...but the smaller NUMA factor raises the break-even.
+    assert new["passes to amortize"] > old["passes to amortize"]

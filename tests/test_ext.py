@@ -1,0 +1,267 @@
+"""Tests for the future-work extensions (hugepages, replication,
+shared-mapping next-touch)."""
+
+import numpy as np
+import pytest
+
+from conftest import drive
+from repro import Madvise, PROT_READ, PROT_RW, System
+from repro.errors import Errno, SyscallError
+from repro.ext import (
+    PAGES_PER_HUGE,
+    ReplicationManager,
+    enable_shared_next_touch,
+    huge_fault_in,
+    huge_mark_next_touch,
+    huge_migrate,
+    huge_touch,
+    mmap_huge,
+    shared_next_touch_enabled,
+)
+from repro.util import HUGE_PAGE_SIZE, PAGE_SIZE
+
+
+# -------------------------------------------------------------- hugepages ---
+def test_huge_mmap_rounds_to_2mib(system):
+    def body(t):
+        addr = yield from mmap_huge(t, HUGE_PAGE_SIZE + 1)
+        vma = t.process.addr_space.find_vma(addr)
+        return vma.huge, vma.npages
+
+    huge, npages = drive(system, body)
+    assert huge
+    assert npages == 2 * PAGES_PER_HUGE
+
+
+def test_huge_fault_populates_whole_units(system):
+    def body(t):
+        addr = yield from mmap_huge(t, 2 * HUGE_PAGE_SIZE)
+        faults = yield from huge_fault_in(t, addr, 2 * HUGE_PAGE_SIZE)
+        return faults, t.process.addr_space.node_histogram().tolist()
+
+    faults, hist = drive(system, body, core=4)  # node 1
+    assert faults == 2  # one fault per 2 MiB, not per 4 KiB
+    assert hist == [0, 2 * PAGES_PER_HUGE, 0, 0]
+    assert system.kernel.stats.minor_faults == 2
+
+
+def test_huge_fault_in_is_idempotent(system):
+    def body(t):
+        addr = yield from mmap_huge(t, HUGE_PAGE_SIZE)
+        first = yield from huge_fault_in(t, addr, HUGE_PAGE_SIZE)
+        second = yield from huge_fault_in(t, addr, HUGE_PAGE_SIZE)
+        return first, second
+
+    assert drive(system, body) == (1, 0)
+
+
+def test_huge_next_touch_migrates_whole_unit(system):
+    proc = system.create_process("huge-nt")
+    shared = {}
+
+    def owner(t):
+        addr = yield from mmap_huge(t, HUGE_PAGE_SIZE)
+        yield from huge_fault_in(t, addr, HUGE_PAGE_SIZE)
+        marked = yield from huge_mark_next_touch(t, addr, HUGE_PAGE_SIZE)
+        shared["addr"] = addr
+        return marked
+
+    assert drive(system, owner, core=0, process=proc) == 1
+
+    def toucher(t):
+        migrated = yield from huge_touch(t, shared["addr"], HUGE_PAGE_SIZE)
+        return migrated, t.process.addr_space.node_histogram().tolist()
+
+    migrated, hist = drive(system, toucher, core=13, process=proc)  # node 3
+    assert migrated == 1
+    assert hist == [0, 0, 0, PAGES_PER_HUGE]
+    assert system.kernel.stats.nt_faults == 1  # one fault for 2 MiB
+
+
+def test_huge_migrate_moves_and_preserves_contents():
+    system = System(track_contents=True)
+
+    def body(t):
+        addr = yield from mmap_huge(t, HUGE_PAGE_SIZE)
+        yield from huge_fault_in(t, addr, HUGE_PAGE_SIZE)
+        yield from t.write_bytes(addr + 12345, b"hugedata")
+        moved = yield from huge_migrate(t, addr, HUGE_PAGE_SIZE, 2)
+        data = yield from t.read_bytes(addr + 12345, 8)
+        return moved, bytes(data), t.process.addr_space.node_histogram().tolist()
+
+    moved, data, hist = drive(system, body, core=0)
+    assert moved == 1
+    assert data == b"hugedata"
+    assert hist == [0, 0, PAGES_PER_HUGE, 0]
+
+
+def test_huge_ops_reject_base_mappings(system):
+    def body(t):
+        addr = yield from t.mmap(HUGE_PAGE_SIZE, PROT_RW)
+        yield from huge_fault_in(t, addr, HUGE_PAGE_SIZE)
+
+    with pytest.raises(SyscallError) as exc:
+        drive(system, body)
+    assert exc.value.errno == Errno.EINVAL
+
+
+def test_huge_migration_cheaper_than_base_pages(system):
+    """The ablation point: one shootdown per 2 MiB vs per 4 KiB."""
+
+    def base_body(t):
+        addr = yield from t.mmap(HUGE_PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, HUGE_PAGE_SIZE, batch=512)
+        t0 = system.kernel.env.now
+        yield from t.move_range(addr, HUGE_PAGE_SIZE, 1)
+        return system.kernel.env.now - t0
+
+    base_time = drive(system, base_body, core=0)
+    system2 = System()
+
+    def huge_body(t):
+        addr = yield from mmap_huge(t, HUGE_PAGE_SIZE)
+        yield from huge_fault_in(t, addr, HUGE_PAGE_SIZE)
+        t0 = system2.kernel.env.now
+        yield from huge_migrate(t, addr, HUGE_PAGE_SIZE, 1)
+        return system2.kernel.env.now - t0
+
+    huge_time = drive(system2, huge_body, core=0)
+    assert huge_time < base_time / 1.3
+
+
+# ------------------------------------------------------------- replication ---
+def test_replication_gives_local_reads():
+    system = System(track_contents=True)
+    proc = system.create_process("repl")
+    mgr = ReplicationManager(proc)
+    shared = {}
+
+    def owner(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+        yield from t.write_bytes(addr, b"R" * 64)
+        yield from t.mprotect(addr, 4 * PAGE_SIZE, PROT_READ)
+        created = yield from mgr.replicate(t, addr, 4 * PAGE_SIZE)
+        shared["addr"] = addr
+        return created
+
+    created = drive(system, owner, core=0, process=proc)
+    assert created == 4 * 3  # 3 extra copies per page
+
+    def reader(t):
+        yield t.kernel.env.timeout(0)
+        vma = proc.addr_space.find_vma(shared["addr"])
+        loc = mgr.effective_locality(vma, np.arange(4), t.node)
+        return loc
+
+    loc = drive(system, reader, core=13, process=proc)  # node 3
+    assert loc == {3: 4.0}  # all reads local thanks to replicas
+
+
+def test_replication_requires_readonly(system):
+    proc = system.create_process("repl-rw")
+    mgr = ReplicationManager(proc)
+
+    def body(t):
+        addr = yield from t.mmap(PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, PAGE_SIZE)
+        yield from mgr.replicate(t, addr, PAGE_SIZE)
+
+    with pytest.raises(SyscallError) as exc:
+        drive(system, body, process=proc)
+    assert exc.value.errno == Errno.EINVAL
+
+
+def test_replication_collapse_frees_frames(system):
+    proc = system.create_process("repl-col")
+    mgr = ReplicationManager(proc)
+
+    def body(t):
+        addr = yield from t.mmap(2 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 2 * PAGE_SIZE)
+        yield from t.mprotect(addr, 2 * PAGE_SIZE, PROT_READ)
+        yield from mgr.replicate(t, addr, 2 * PAGE_SIZE)
+        used_mid = sum(a.used for a in system.kernel.allocators)
+        dropped = yield from mgr.collapse(t, addr, 2 * PAGE_SIZE)
+        used_after = sum(a.used for a in system.kernel.allocators)
+        return used_mid, dropped, used_after
+
+    used_mid, dropped, used_after = drive(system, body, core=0, process=proc)
+    assert dropped == 6
+    assert used_mid - used_after == 6
+
+
+def test_replicated_read_faster_than_remote(system):
+    proc = system.create_process("repl-speed")
+    mgr = ReplicationManager(proc)
+    shared = {}
+
+    def owner(t):
+        addr = yield from t.mmap(64 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 64 * PAGE_SIZE)
+        yield from t.mprotect(addr, 64 * PAGE_SIZE, PROT_READ)
+        shared["addr"] = addr
+
+    drive(system, owner, core=0, process=proc)
+
+    def remote_reader(t):
+        cost = yield from mgr.read(t, shared["addr"], 64 * PAGE_SIZE)
+        return cost
+
+    before = drive(system, remote_reader, core=13, process=proc)
+
+    def replicate_then_read(t):
+        yield from mgr.replicate(t, shared["addr"], 64 * PAGE_SIZE, nodes=[3])
+        cost = yield from mgr.read(t, shared["addr"], 64 * PAGE_SIZE)
+        return cost
+
+    after = drive(system, replicate_then_read, core=13, process=proc)
+    assert after < before  # NUMA factor gone
+
+
+def test_writes_still_blocked_while_replicated(system):
+    """Coherence by protection: the read-only VMA faults on write."""
+    proc = system.create_process("repl-coherent")
+    mgr = ReplicationManager(proc)
+
+    from repro.errors import SegmentationFault
+
+    def body(t):
+        addr = yield from t.mmap(PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, PAGE_SIZE)
+        yield from t.mprotect(addr, PAGE_SIZE, PROT_READ)
+        yield from mgr.replicate(t, addr, PAGE_SIZE)
+        yield from t.touch(addr, PAGE_SIZE, write=True)
+
+    with pytest.raises(SegmentationFault):
+        drive(system, body, process=proc)
+
+
+# --------------------------------------------------------------- shared NT ---
+def test_shared_next_touch_disabled_by_default(system):
+    def body(t):
+        addr = yield from t.mmap(2 * PAGE_SIZE, PROT_RW, shared=True)
+        yield from t.touch(addr, 2 * PAGE_SIZE)
+        yield from t.madvise(addr, 2 * PAGE_SIZE, Madvise.NEXTTOUCH)
+
+    assert not shared_next_touch_enabled(system.kernel)
+    with pytest.raises(SyscallError) as exc:
+        drive(system, body)
+    assert exc.value.errno == Errno.EINVAL
+
+
+def test_shared_next_touch_extension_lifts_einval(system):
+    enable_shared_next_touch(system.kernel)
+    assert shared_next_touch_enabled(system.kernel)
+
+    def body(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW, shared=True)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+        marked = yield from t.madvise(addr, 4 * PAGE_SIZE, Madvise.NEXTTOUCH)
+        yield from t.migrate_to(9)  # node 2
+        yield from t.touch(addr, 4 * PAGE_SIZE, bytes_per_page=64)
+        return marked, t.process.addr_space.node_histogram().tolist()
+
+    marked, hist = drive(system, body, core=0)
+    assert marked == 4
+    assert hist == [0, 0, 4, 0]

@@ -1,0 +1,248 @@
+"""Integration tests for the page-fault paths."""
+
+import numpy as np
+import pytest
+
+from conftest import drive, drive_many
+from repro import Madvise, MemPolicy, PROT_NONE, PROT_READ, PROT_RW, SIGSEGV, System
+from repro.errors import SegmentationFault
+from repro.util import PAGE_SIZE
+
+
+def test_first_touch_allocates_locally(system):
+    def body(t):
+        addr = yield from t.mmap(16 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 16 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    # core 9 belongs to node 2 on the 4x4 machine
+    assert drive(system, body, core=9) == [0, 0, 16, 0]
+    assert system.kernel.stats.pages_first_touched == 16
+
+
+def test_first_touch_respects_interleave_policy(system):
+    def body(t):
+        pol = MemPolicy.interleave(0, 1, 2, 3)
+        addr = yield from t.mmap(8 * PAGE_SIZE, PROT_RW, policy=pol)
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=0) == [2, 2, 2, 2]
+
+
+def test_first_touch_respects_bind_policy(system):
+    def body(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(3))
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=0) == [0, 0, 0, 4]
+
+
+def test_process_default_policy_applies(system):
+    def body(t):
+        yield from t.set_mempolicy(MemPolicy.preferred(1))
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=0) == [0, 4, 0, 0]
+
+
+def test_read_before_write_faults_once(system):
+    def body(t):
+        addr = yield from t.mmap(2 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 2 * PAGE_SIZE, write=False)
+        faults_after_read = system.kernel.stats.minor_faults
+        yield from t.touch(addr, 2 * PAGE_SIZE, write=True)
+        return faults_after_read, system.kernel.stats.minor_faults
+
+    before, after = drive(system, body)
+    assert before == 2
+    assert after == 2  # writes did not re-fault
+
+
+def test_unmapped_access_raises_segfault(system):
+    def body(t):
+        yield from t.touch(0xDEAD000, PAGE_SIZE)
+
+    with pytest.raises(SegmentationFault):
+        drive(system, body)
+
+
+def test_write_to_readonly_raises(system):
+    def body(t):
+        addr = yield from t.mmap(PAGE_SIZE, PROT_READ)
+        yield from t.touch(addr, PAGE_SIZE, write=True)
+
+    with pytest.raises(SegmentationFault):
+        drive(system, body)
+
+
+def test_read_of_readonly_is_fine(system):
+    def body(t):
+        addr = yield from t.mmap(PAGE_SIZE, PROT_READ)
+        yield from t.touch(addr, PAGE_SIZE, write=False)
+        return "ok"
+
+    assert drive(system, body) == "ok"
+
+
+def test_sigsegv_handler_runs_and_access_retries(system):
+    log = []
+
+    def body(t):
+        addr = yield from t.mmap(2 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 2 * PAGE_SIZE)
+
+        def handler(thread, si):
+            log.append((si.addr, si.write))
+            yield from thread.mprotect(state, 2 * PAGE_SIZE, PROT_RW)
+
+        state = addr
+        t.sigaction(SIGSEGV, handler)
+        yield from t.mprotect(addr, 2 * PAGE_SIZE, PROT_NONE)
+        yield from t.touch(addr, 2 * PAGE_SIZE)
+        return "done"
+
+    assert drive(system, body) == "done"
+    assert len(log) == 1
+    assert system.kernel.stats.signals_delivered == 1
+
+
+def test_fault_inside_handler_is_fatal(system):
+    def body(t):
+        addr = yield from t.mmap(PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, PAGE_SIZE)
+
+        def handler(thread, si):
+            yield from thread.touch(0xBAD000, PAGE_SIZE)  # re-faults
+
+        t.sigaction(SIGSEGV, handler)
+        yield from t.mprotect(addr, PAGE_SIZE, PROT_NONE)
+        yield from t.touch(addr, PAGE_SIZE)
+
+    with pytest.raises(SegmentationFault, match="signal handler"):
+        drive(system, body)
+
+
+def test_broken_handler_hits_retry_limit(system):
+    def body(t):
+        addr = yield from t.mmap(PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, PAGE_SIZE)
+
+        def handler(thread, si):
+            yield thread.kernel.env.timeout(1.0)  # fixes nothing
+
+        t.sigaction(SIGSEGV, handler)
+        yield from t.mprotect(addr, PAGE_SIZE, PROT_NONE)
+        yield from t.touch(addr, PAGE_SIZE)
+
+    with pytest.raises(SegmentationFault, match="retry limit"):
+        drive(system, body)
+
+
+def test_kernel_next_touch_migrates_to_toucher(system):
+    proc = system.create_process("nt")
+    N = 8 * PAGE_SIZE
+    shared = {}
+
+    def alloc_body(t):
+        addr = yield from t.mmap(N, PROT_RW)
+        yield from t.touch(addr, N)
+        yield from t.madvise(addr, N, Madvise.NEXTTOUCH)
+        shared["addr"] = addr
+
+    def touch_body(t):
+        yield from t.touch(shared["addr"], N, bytes_per_page=64)
+        return t.process.addr_space.node_histogram().tolist()
+
+    drive(system, alloc_body, core=0, process=proc)
+    hist = drive(system, touch_body, core=13, process=proc)  # node 3
+    assert hist == [0, 0, 0, 8]
+    assert system.kernel.stats.pages_migrated == 8
+
+
+def test_next_touch_local_pages_not_migrated(system):
+    def body(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 4 * PAGE_SIZE)  # already local
+        yield from t.madvise(addr, 4 * PAGE_SIZE, Madvise.NEXTTOUCH)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+        return system.kernel.stats.pages_migrated
+
+    assert drive(system, body) == 0  # no useless migration (Sec. 3.4)
+    assert system.kernel.stats.nt_faults == 4
+
+
+def test_next_touch_migrates_each_page_once_under_races(system):
+    """Two threads racing over the same marked buffer: every page is
+    migrated exactly once, to whichever thread touched it first."""
+    proc = system.create_process("race")
+    N = 32 * PAGE_SIZE
+    shared = {}
+
+    def alloc_body(t):
+        addr = yield from t.mmap(N, PROT_RW)
+        yield from t.touch(addr, N)
+        yield from t.madvise(addr, N, Madvise.NEXTTOUCH)
+        shared["addr"] = addr
+
+    drive(system, alloc_body, core=0, process=proc)
+
+    def touch_body(t):
+        yield from t.touch(shared["addr"], N, bytes_per_page=64)
+
+    drive_many(system, [(touch_body, 4), (touch_body, 8)], process=proc)
+    hist = proc.addr_space.node_histogram()
+    assert hist.sum() == 32
+    assert hist[0] == 0  # everything left node 0
+    assert system.kernel.stats.pages_migrated == 32  # no double moves
+
+
+def test_batched_next_touch_equivalent_state(system):
+    proc = system.create_process("batch")
+    N = 16 * PAGE_SIZE
+    shared = {}
+
+    def alloc_body(t):
+        addr = yield from t.mmap(N, PROT_RW)
+        yield from t.touch(addr, N)
+        yield from t.madvise(addr, N, Madvise.NEXTTOUCH)
+        shared["addr"] = addr
+
+    def touch_batched(t):
+        yield from t.touch(shared["addr"], N, bytes_per_page=64, batch=8)
+        return t.process.addr_space.node_histogram().tolist()
+
+    drive(system, alloc_body, core=0, process=proc)
+    hist = drive(system, touch_batched, core=5, process=proc)  # node 1
+    assert hist == [0, 16, 0, 0]
+
+
+def test_contents_survive_next_touch(system):
+    def body(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW)
+        payload = np.arange(4 * PAGE_SIZE, dtype=np.uint64).view(np.uint8)[: 4 * PAGE_SIZE]
+        yield from t.write_bytes(addr, payload)
+        yield from t.madvise(addr, 4 * PAGE_SIZE, Madvise.NEXTTOUCH)
+        yield from t.migrate_to(15)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+        data = yield from t.read_bytes(addr, 4 * PAGE_SIZE)
+        return bool((data == payload).all())
+
+    assert drive(system, body) is True
+
+
+def test_madvise_dontneed_loses_contents(system):
+    """The paper's footnote: DONTNEED is not a next-touch substitute —
+    the data is gone, the next touch reads zeros."""
+
+    def body(t):
+        addr = yield from t.mmap(PAGE_SIZE, PROT_RW)
+        yield from t.write_bytes(addr, b"\xff" * 64)
+        yield from t.madvise(addr, PAGE_SIZE, Madvise.DONTNEED)
+        data = yield from t.read_bytes(addr, 64)
+        return bytes(data)
+
+    assert drive(system, body) == b"\x00" * 64

@@ -1,0 +1,201 @@
+"""Tests for fork + copy-on-write and its interaction with migration."""
+
+import numpy as np
+import pytest
+
+from conftest import drive
+from repro import Madvise, PROT_READ, PROT_RW, System
+from repro.util import PAGE_SIZE
+
+
+def forked_pair(system, npages=8, payload=b"parentdata"):
+    """Parent process with a touched buffer, plus its forked child.
+
+    Returns (parent_proc, child_proc, addr).
+    """
+    proc = system.create_process("parent")
+    box = {}
+
+    def body(t):
+        addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW, name="buf")
+        yield from t.touch(addr, npages * PAGE_SIZE)
+        if system.kernel.track_contents:
+            yield from t.write_bytes(addr, payload)
+        child = yield from t.fork()
+        box["addr"] = addr
+        box["child"] = child
+
+    drive(system, body, core=0, process=proc)
+    return proc, box["child"], box["addr"]
+
+
+def test_fork_shares_frames_without_copying(system):
+    parent, child, addr = forked_pair(system)
+    used = sum(a.used for a in system.kernel.allocators)
+    assert used == 8  # still one physical copy
+    pv = parent.addr_space.find_vma(addr)
+    cv = child.addr_space.find_vma(addr)
+    assert (pv.pt.frame == cv.pt.frame).all()
+    assert not pv.pt.writable().any()  # write revoked on both sides
+    assert not cv.pt.writable().any()
+    assert system.kernel.stats.forks == 1
+
+
+def test_child_reads_parent_data(system):
+    parent, child, addr = forked_pair(system, payload=b"hello-child")
+
+    def reader(t):
+        data = yield from t.read_bytes(addr, 11)
+        return bytes(data)
+
+    assert drive(system, reader, core=4, process=child) == b"hello-child"
+
+
+def test_write_isolation_after_fork(system):
+    parent, child, addr = forked_pair(system, payload=b"original")
+
+    def child_writer(t):
+        yield from t.write_bytes(addr, b"CHANGED!")
+
+    drive(system, child_writer, core=4, process=child)
+
+    def parent_reader(t):
+        data = yield from t.read_bytes(addr, 8)
+        return bytes(data)
+
+    assert drive(system, parent_reader, core=0, process=parent) == b"original"
+    assert system.kernel.stats.cow_faults >= 1
+
+
+def test_cow_copy_lands_on_writer_node(system):
+    parent, child, addr = forked_pair(system)
+
+    def child_writer(t):
+        yield from t.touch(addr, 8 * PAGE_SIZE, write=True)
+        return child.addr_space.node_histogram().tolist()
+
+    hist = drive(system, child_writer, core=13, process=child)  # node 3
+    assert hist == [0, 0, 0, 8]  # writer's copies are local to it
+    # Parent still has its originals on node 0.
+    assert parent.addr_space.node_histogram().tolist() == [8, 0, 0, 0]
+
+
+def test_last_owner_write_reuses_frame(system):
+    parent, child, addr = forked_pair(system, npages=4)
+
+    def child_exit(t):
+        yield from t.munmap(addr, 4 * PAGE_SIZE)
+
+    drive(system, child_exit, core=4, process=child)
+    used_before = sum(a.used for a in system.kernel.allocators)
+
+    def parent_writer(t):
+        yield from t.touch(addr, 4 * PAGE_SIZE, write=True)
+
+    drive(system, parent_writer, core=0, process=parent)
+    # No copies: the parent was sole owner again.
+    assert sum(a.used for a in system.kernel.allocators) == used_before
+    assert parent.addr_space.find_vma(addr).pt.writable().all()
+
+
+def test_reads_never_break_cow(system):
+    parent, child, addr = forked_pair(system)
+
+    def reader(t):
+        yield from t.touch(addr, 8 * PAGE_SIZE, write=False)
+
+    drive(system, reader, core=4, process=child)
+    assert system.kernel.stats.cow_faults == 0
+    assert sum(a.used for a in system.kernel.allocators) == 8
+
+
+def test_mprotect_rw_does_not_grant_write_to_cow_pages(system):
+    parent, child, addr = forked_pair(system, npages=2)
+
+    def body(t):
+        yield from t.mprotect(addr, 2 * PAGE_SIZE, PROT_RW)
+        vma = child.addr_space.find_vma(addr)
+        before = vma.pt.writable().any()
+        yield from t.write_bytes(addr, b"x")
+        return bool(before)
+
+    system.kernel.track_contents = True
+    assert drive(system, body, core=4, process=child) is False
+    # The write still worked (through the COW fault).
+    assert system.kernel.stats.cow_faults >= 1
+
+
+def test_nexttouch_on_cow_pages_migrates_by_copy(system):
+    """Next-touch and COW compose: the toucher gets a local copy and
+    the sibling keeps the original."""
+    parent, child, addr = forked_pair(system, payload=b"shared")
+
+    def child_body(t):
+        yield from t.madvise(addr, 8 * PAGE_SIZE, Madvise.NEXTTOUCH)
+        yield from t.touch(addr, 8 * PAGE_SIZE, bytes_per_page=64, write=False)
+        data = yield from t.read_bytes(addr, 6)
+        return child.addr_space.node_histogram().tolist(), bytes(data)
+
+    hist, data = drive(system, child_body, core=9, process=child)  # node 2
+    assert hist == [0, 0, 8, 0]
+    assert data == b"shared"
+    # Parent unharmed, still on node 0 with its data.
+    assert parent.addr_space.node_histogram().tolist() == [8, 0, 0, 0]
+
+    def parent_read(t):
+        data = yield from t.read_bytes(addr, 6)
+        return bytes(data)
+
+    assert drive(system, parent_read, core=0, process=parent) == b"shared"
+
+
+def test_destroy_process_respects_shared_frames(system):
+    """exit() of the child leaves the parent's COW frames intact."""
+    parent, child, addr = forked_pair(system, npages=4, payload=b"keep")
+    released = system.kernel.destroy_process(child)
+    assert released == 4  # its references dropped...
+    assert sum(a.used for a in system.kernel.allocators) == 4  # ...frames live on
+
+    def parent_reader(t):
+        data = yield from t.read_bytes(addr, 4)
+        return bytes(data)
+
+    assert drive(system, parent_reader, core=0, process=parent) == b"keep"
+    system.kernel.destroy_process(parent)
+    assert sum(a.used for a in system.kernel.allocators) == 0
+    assert system.kernel.frame_refs == {}
+
+
+def test_destroy_process_with_running_threads_rejected(system):
+    from repro.errors import SimulationError
+
+    proc = system.create_process("busy")
+
+    def body(t):
+        yield t.kernel.env.timeout(100.0)
+
+    system.spawn(proc, 0, body)
+    with pytest.raises(SimulationError, match="still running"):
+        system.kernel.destroy_process(proc)
+    system.run()
+    assert system.kernel.destroy_process(proc) == 0
+
+
+def test_double_fork_refcounts(system):
+    parent, child, addr = forked_pair(system, npages=2)
+
+    def fork_again(t):
+        grandchild = yield from t.fork()
+        return grandchild
+
+    grandchild = drive(system, fork_again, core=4, process=child)
+    assert sum(a.used for a in system.kernel.allocators) == 2  # still one copy
+
+    # Everyone unmaps; frames must be freed exactly once.
+    for proc in (parent, child, grandchild):
+        def unmap(t):
+            yield from t.munmap(addr, 2 * PAGE_SIZE)
+
+        drive(system, unmap, core=0, process=proc)
+    assert sum(a.used for a in system.kernel.allocators) == 0
+    assert system.kernel.frame_refs == {}

@@ -1,0 +1,214 @@
+"""Unit tests for the hardware model (topology, interconnect, caches)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import CacheModel, CostModel, Interconnect, LinkFabric, Machine
+from repro.hardware import fast_uniform, opteron_8347he
+from repro.sim import Environment
+from repro.util import GiB, PAGE_SIZE
+
+
+# --------------------------------------------------------------- Machine ----
+def test_paper_machine_shape():
+    m = Machine.opteron_8347he_quad()
+    assert m.num_nodes == 4
+    assert m.num_cores == 16
+    assert m.nodes[2].mem_bytes == 8 * GiB
+    assert m.nodes[0].l3.size == 2 * 1024 * 1024
+    assert m.cores_of_node(1) == (4, 5, 6, 7)
+    assert m.node_of_core(13) == 3
+
+
+def test_numa_factors_match_paper_range():
+    m = Machine.opteron_8347he_quad()
+    assert m.numa_factor(0, 0) == 1.0
+    assert m.numa_factor(0, 1) == pytest.approx(1.2)  # adjacent, 1 hop
+    assert m.numa_factor(0, 3) == pytest.approx(1.4)  # opposite, 2 hops
+
+
+def test_square_topology_hops():
+    ic = Interconnect.square(4000.0)
+    assert ic.hops(0, 0) == 0
+    assert ic.hops(0, 1) == 1
+    assert ic.hops(0, 2) == 1
+    assert ic.hops(0, 3) == 2
+    assert ic.hops(1, 2) == 2
+
+
+def test_distance_matrix_slit_style():
+    m = Machine.opteron_8347he_quad()
+    d = m.distance_matrix()
+    assert d[0][0] == 10
+    assert d[0][1] == 16
+    assert d[0][3] == 22
+    assert d == [list(row) for row in zip(*d)]  # symmetric
+
+
+def test_symmetric_builder():
+    m = Machine.symmetric(2, 8)
+    assert m.num_nodes == 2
+    assert m.num_cores == 16
+    assert m.hops(0, 1) == 1
+
+
+def test_single_node_machine():
+    m = Machine.symmetric(1, 4)
+    assert m.numa_factor(0, 0) == 1.0
+
+
+def test_core_on_two_nodes_rejected():
+    from repro.hardware.caches import CacheModel
+    from repro.hardware.topology import NumaNode
+
+    cache = CacheModel(size=1024)
+    nodes = [
+        NumaNode(0, (0, 1), GiB, cache),
+        NumaNode(1, (1, 2), GiB, cache),
+    ]
+    with pytest.raises(ConfigurationError, match="two nodes"):
+        Machine(nodes, Interconnect.fully_connected(2, 1000.0), opteron_8347he())
+
+
+def test_disconnected_interconnect_rejected():
+    with pytest.raises(ConfigurationError, match="not connected"):
+        Interconnect(4, [(0, 1)], 1000.0)
+
+
+def test_validate_node():
+    m = Machine.opteron_8347he_quad()
+    m.validate_node(3)
+    with pytest.raises(ConfigurationError):
+        m.validate_node(4)
+
+
+# -------------------------------------------------------------- CostModel ----
+def test_cost_model_calibration_identities():
+    cm = opteron_8347he()
+    page = PAGE_SIZE / cm.kernel_page_copy_bw
+    # move_pages per-page: control + dest/src LRU halves + one local
+    # TLB flush + copy. Control share ~38 %, throughput ~600 MB/s.
+    mp_control = cm.move_pages_page_control_us + cm.lru_lock_hold_us + cm.tlb_flush_local_us
+    control_share = mp_control / (mp_control + page)
+    assert 0.33 <= control_share <= 0.45
+    bw = PAGE_SIZE / (mp_control + page)
+    assert 550 <= bw <= 680
+    # Kernel NT per-page: fault entry + control + pcp alloc/free + copy.
+    # Control share ~20 %, throughput ~800 MB/s.
+    nt_control = (
+        cm.fault_entry_us + cm.nt_fault_control_us + cm.nt_pcp_alloc_us + cm.nt_pcp_free_us
+    )
+    nt_share = nt_control / (nt_control + page)
+    assert 0.15 <= nt_share <= 0.25
+    nt_bw = PAGE_SIZE / (nt_control + page)
+    assert 720 <= nt_bw <= 880
+
+
+def test_cost_model_replace_is_pure():
+    cm = opteron_8347he()
+    variant = cm.replace(numa_factor_1hop=2.0)
+    assert variant.numa_factor_1hop == 2.0
+    assert cm.numa_factor_1hop == 1.2
+
+
+def test_fast_uniform_profile_is_flat():
+    cm = fast_uniform()
+    assert cm.numa_factor(1) == 1.0
+    assert cm.numa_factor(2) == 1.0
+
+
+def test_numa_factor_by_hops():
+    cm = CostModel()
+    assert cm.numa_factor(0) == 1.0
+    assert cm.numa_factor(1) == cm.numa_factor_1hop
+    assert cm.numa_factor(5) == cm.numa_factor_2hop
+
+
+# ------------------------------------------------------------- LinkFabric ----
+def test_fabric_transfer_remote_uses_link():
+    env = Environment()
+    fabric = LinkFabric(env, Interconnect.square(1000.0))
+
+    def proc():
+        yield fabric.transfer(0, 1, 10000.0)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(until=p) == pytest.approx(10.0)
+
+
+def test_fabric_local_transfer_needs_rate():
+    env = Environment()
+    fabric = LinkFabric(env, Interconnect.square(1000.0))
+    with pytest.raises(ConfigurationError):
+        fabric.transfer(0, 0, 100.0)
+
+    def proc():
+        yield fabric.transfer(2, 2, 1000.0, max_rate=100.0)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(until=p) == pytest.approx(10.0)
+
+
+def test_fabric_directions_are_independent():
+    env = Environment()
+    fabric = LinkFabric(env, Interconnect.square(1000.0))
+    done = {}
+
+    def proc(tag, src, dst):
+        yield fabric.transfer(src, dst, 10000.0)
+        done[tag] = env.now
+
+    env.process(proc("fwd", 0, 1))
+    env.process(proc("rev", 1, 0))
+    env.run()
+    # Full-duplex: both finish as if alone.
+    assert done["fwd"] == pytest.approx(10.0)
+    assert done["rev"] == pytest.approx(10.0)
+
+
+def test_fabric_contention_on_shared_link():
+    env = Environment()
+    fabric = LinkFabric(env, Interconnect.square(1000.0))
+    done = {}
+
+    def proc(tag):
+        yield fabric.transfer(0, 1, 10000.0)
+        done[tag] = env.now
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert done["a"] == pytest.approx(20.0)
+    assert done["b"] == pytest.approx(20.0)
+
+
+# ------------------------------------------------------------- CacheModel ----
+def test_cache_fitting_working_set_mostly_hits():
+    cache = CacheModel(size=2 * 1024 * 1024)
+    miss = cache.miss_fraction(working_set=1024 * 1024, reuse_factor=100.0)
+    assert miss == pytest.approx(0.01, abs=1e-6)
+
+
+def test_cache_overflowing_working_set_misses():
+    cache = CacheModel(size=2 * 1024 * 1024)
+    miss = cache.miss_fraction(working_set=64 * 1024 * 1024, reuse_factor=100.0)
+    assert miss > 0.9
+
+
+def test_cache_no_reuse_all_compulsory():
+    cache = CacheModel(size=2 * 1024 * 1024)
+    assert cache.miss_fraction(working_set=1024, reuse_factor=1.0) == pytest.approx(1.0)
+
+
+def test_cache_dram_traffic_scales():
+    cache = CacheModel(size=2 * 1024 * 1024)
+    traffic = cache.dram_traffic(1e9, working_set=1024 * 1024, reuse_factor=10.0)
+    assert traffic == pytest.approx(1e9 * cache.miss_fraction(1024 * 1024, 10.0))
+
+
+def test_cache_rejects_bad_reuse():
+    cache = CacheModel(size=1024)
+    with pytest.raises(ValueError):
+        cache.miss_fraction(1024, reuse_factor=0.5)

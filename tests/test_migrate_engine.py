@@ -1,0 +1,155 @@
+"""Tests for the synchronous migration engine's concurrency behaviour."""
+
+import numpy as np
+import pytest
+
+from conftest import drive, drive_many
+from repro import Machine, MemPolicy, PROT_RW, System, opteron_8347he
+from repro.util import PAGE_SIZE
+
+
+def test_concurrent_disjoint_move_pages_no_double_work(system):
+    """Two threads moving disjoint halves: every page moves once."""
+    proc = system.create_process("disjoint")
+    N = 64 * PAGE_SIZE
+    shared = {}
+
+    def owner(t):
+        addr = yield from t.mmap(N, PROT_RW, policy=MemPolicy.bind(0))
+        yield from t.touch(addr, N)
+        shared["addr"] = addr
+
+    drive(system, owner, core=0, process=proc)
+
+    def half(offset):
+        def body(t):
+            yield from t.move_range(shared["addr"] + offset, N // 2, 1)
+
+        return body
+
+    drive_many(system, [(half(0), 4), (half(N // 2), 5)], process=proc)
+    assert system.kernel.stats.pages_migrated == 64
+    assert proc.addr_space.node_histogram().tolist() == [0, 64, 0, 0]
+
+
+def test_concurrent_overlapping_move_pages_each_page_once(system):
+    """Two threads racing over the SAME range to different nodes: each
+    page migrates exactly once (the atomic-commit refilter)."""
+    proc = system.create_process("overlap")
+    N = 32 * PAGE_SIZE
+    shared = {}
+
+    def owner(t):
+        addr = yield from t.mmap(N, PROT_RW, policy=MemPolicy.bind(0))
+        yield from t.touch(addr, N)
+        shared["addr"] = addr
+
+    drive(system, owner, core=0, process=proc)
+
+    def mover(dest):
+        def body(t):
+            yield from t.move_range(shared["addr"], N, dest)
+
+        return body
+
+    drive_many(system, [(mover(1), 4), (mover(1), 5)], process=proc)
+    assert system.kernel.stats.pages_migrated == 32
+    assert proc.addr_space.node_histogram().tolist() == [0, 32, 0, 0]
+
+
+def test_parallel_sync_migration_faster_than_serial(system):
+    """Fig. 7's headline at reduced scale: 4 threads beat 1."""
+    from repro.experiments.fig7_scalability import measure_parallel_migration
+
+    t1 = measure_parallel_migration(4096, 1, "sync")
+    t4 = measure_parallel_migration(4096, 4, "sync")
+    assert t4 < t1 / 1.3
+
+
+def test_parallel_lazy_faster_than_parallel_sync():
+    from repro.experiments.fig7_scalability import measure_parallel_migration
+
+    sync = measure_parallel_migration(8192, 4, "sync")
+    lazy = measure_parallel_migration(8192, 4, "lazy")
+    assert lazy < sync
+
+
+def test_small_buffer_threads_do_not_help():
+    from repro.experiments.fig7_scalability import measure_parallel_migration
+
+    t1 = measure_parallel_migration(64, 1, "lazy")
+    t4 = measure_parallel_migration(64, 4, "lazy")
+    assert t4 > t1 * 0.85  # no meaningful speedup below ~1 MiB
+
+
+def test_pagevec_ablation_state_equivalent():
+    """Chunk size changes timing, never the final state."""
+    placements = []
+    for pagevec in (1, 64):
+        cm = opteron_8347he().replace(migrate_pagevec=pagevec)
+        system = System(Machine.opteron_8347he_quad(cm))
+
+        def body(t):
+            addr = yield from t.mmap(32 * PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(0))
+            yield from t.touch(addr, 32 * PAGE_SIZE)
+            yield from t.move_range(addr, 32 * PAGE_SIZE, 3)
+            return t.process.addr_space.node_histogram().tolist()
+
+        placements.append(drive(system, body, core=0))
+    assert placements[0] == placements[1] == [0, 0, 0, 32]
+
+
+def test_migrate_prep_serializes_concurrent_callers(system):
+    """The lru_add_drain_all portion of the base overhead is global."""
+    proc = system.create_process("prep")
+    shared = {}
+
+    def owner(t):
+        a = yield from t.mmap(PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(0))
+        b = yield from t.mmap(PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(0))
+        yield from t.touch(a, PAGE_SIZE)
+        yield from t.touch(b, PAGE_SIZE)
+        shared.update(a=a, b=b)
+
+    drive(system, owner, core=0, process=proc)
+
+    def mover(key):
+        def body(t):
+            yield from t.move_range(shared[key], PAGE_SIZE, 1)
+
+        return body
+
+    t0 = system.now
+    drive_many(system, [(mover("a"), 4), (mover("b"), 5)], process=proc)
+    elapsed = system.now - t0
+    cm = system.machine.cost
+    # Both calls pay the full base; the migrate_prep portions serialize.
+    assert elapsed >= cm.move_pages_base_us + cm.migrate_prep_us - 1.0
+
+
+def test_migration_tlb_ipis_scale_with_team(system):
+    """Each migrated page IPIs every other CPU running the mm."""
+    proc = system.create_process("ipi")
+    shared = {}
+
+    def owner(t):
+        addr = yield from t.mmap(16 * PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(0))
+        yield from t.touch(addr, 16 * PAGE_SIZE)
+        shared["addr"] = addr
+
+    drive(system, owner, core=0, process=proc)
+
+    def parked(t):
+        yield t.kernel.env.timeout(10_000.0)
+
+    def mover(t):
+        yield from t.move_range(shared["addr"], 16 * PAGE_SIZE, 1)
+
+    for core in (8, 12):
+        system.spawn(proc, core, parked)
+    before = system.kernel.stats.tlb_ipis
+    m = system.spawn(proc, 4, mover)
+    system.run_to(m.join())
+    # 16 per-page shootdowns x 2 other running cores.
+    assert system.kernel.stats.tlb_ipis - before == 32
+    system.run()

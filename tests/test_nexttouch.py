@@ -1,0 +1,281 @@
+"""Tests for the next-touch libraries and lazy-migration strategies."""
+
+import numpy as np
+import pytest
+
+from conftest import drive, drive_many
+from repro import Madvise, PROT_RW, System
+from repro.nexttouch import (
+    LazyKernelNextTouch,
+    LazyUserNextTouch,
+    NoMigration,
+    Region,
+    SyncMovePages,
+    UserNextTouch,
+    mark_next_touch,
+    pending_next_touch_pages,
+    UserNextTouch,
+)
+from repro.util import PAGE_SIZE
+
+
+def make_buffer(t, npages):
+    addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW, name="buf")
+    yield from t.touch(addr, npages * PAGE_SIZE)
+    return addr
+
+
+# ----------------------------------------------------------- user library ----
+def test_user_nt_whole_region_migrates_on_one_touch(system):
+    proc = system.create_process("unt")
+    unt = UserNextTouch(proc)
+    shared = {}
+
+    def owner(t):
+        addr = yield from make_buffer(t, 16)
+        shared["addr"] = addr
+        unt.register(addr, 16 * PAGE_SIZE)
+        yield from unt.mark(t)
+
+    drive(system, owner, core=0, process=proc)
+
+    def toucher(t):
+        # touch ONE page; whole region should migrate to node 2
+        yield from t.touch(shared["addr"] + 5 * PAGE_SIZE, PAGE_SIZE, bytes_per_page=64)
+        return t.process.addr_space.node_histogram().tolist()
+
+    hist = drive(system, toucher, core=9, process=proc)  # node 2
+    assert hist == [0, 0, 16, 0]
+    assert unt.migrations == 1
+    assert unt.locations == {(0, 0): 2}
+
+
+def test_user_nt_chunked_granularity(system):
+    """With chunking, each chunk follows its own toucher — the 'matrix
+    column' granularity of Section 3.2."""
+    proc = system.create_process("unt-chunks")
+    unt = UserNextTouch(proc)
+    shared = {}
+
+    def owner(t):
+        addr = yield from make_buffer(t, 16)
+        shared["addr"] = addr
+        unt.register(addr, 16 * PAGE_SIZE, chunk_bytes=4 * PAGE_SIZE)
+        yield from unt.mark(t)
+
+    drive(system, owner, core=0, process=proc)
+
+    def touch_half(core_first_page):
+        def body(t):
+            yield from t.touch(
+                shared["addr"] + core_first_page * PAGE_SIZE, 8 * PAGE_SIZE, bytes_per_page=64
+            )
+
+        return body
+
+    drive(system, touch_half(0), core=4, process=proc)  # node 1 gets chunks 0-1
+    drive(system, touch_half(8), core=12, process=proc)  # node 3 gets chunks 2-3
+    hist = proc.addr_space.node_histogram()
+    assert hist.tolist() == [0, 8, 0, 8]
+    assert unt.migrations == 4
+
+
+def test_user_nt_single_signal_per_chunk(system):
+    proc = system.create_process("unt-sig")
+    unt = UserNextTouch(proc)
+    shared = {}
+
+    def owner(t):
+        addr = yield from make_buffer(t, 8)
+        shared["addr"] = addr
+        unt.register(addr, 8 * PAGE_SIZE)
+        yield from unt.mark(t)
+
+    drive(system, owner, core=0, process=proc)
+
+    def toucher(t):
+        yield from t.touch(shared["addr"], 8 * PAGE_SIZE, bytes_per_page=64)
+
+    drive(system, toucher, core=4, process=proc)
+    # One chunk -> one SIGSEGV despite eight pages.
+    assert system.kernel.stats.signals_delivered == 1
+
+
+def test_user_nt_unrelated_fault_still_fatal(system):
+    proc = system.create_process("unt-other")
+    UserNextTouch(proc)
+
+    def body(t):
+        yield from t.touch(0xDEAD000, PAGE_SIZE)
+
+    from repro.errors import SegmentationFault
+
+    with pytest.raises(SegmentationFault, match="outside next-touch"):
+        drive(system, body, process=proc)
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        Region(addr=5, nbytes=PAGE_SIZE, prot=PROT_RW, chunk_bytes=PAGE_SIZE)
+    with pytest.raises(ValueError):
+        Region(addr=0, nbytes=PAGE_SIZE, prot=PROT_RW, chunk_bytes=100)
+    r = Region(addr=0, nbytes=10 * PAGE_SIZE, prot=PROT_RW, chunk_bytes=4 * PAGE_SIZE)
+    assert r.num_chunks == 3
+    assert r.chunk_of(9 * PAGE_SIZE) == 2
+    assert r.chunk_range(2) == (8 * PAGE_SIZE, 2 * PAGE_SIZE)
+
+
+def test_unregister_rekeys_locations(system):
+    """Removing a region must not corrupt later regions' location
+    knowledge (indices shift down)."""
+    proc = system.create_process("unt-rekey")
+    unt = UserNextTouch(proc)
+    shared = {}
+
+    def owner(t):
+        a = yield from make_buffer(t, 4)
+        b = yield from make_buffer(t, 4)
+        shared["ra"] = unt.register(a, 4 * PAGE_SIZE)
+        shared["rb"] = unt.register(b, 4 * PAGE_SIZE)
+        yield from unt.mark(t, shared["rb"])
+        yield from t.migrate_to(5)  # node 1
+        yield from t.touch(b, 4 * PAGE_SIZE, bytes_per_page=64)
+
+    drive(system, owner, core=0, process=proc)
+    assert unt.locations == {(1, 0): 1}
+    unt.unregister(shared["ra"])
+    # Region b is now index 0; its knowledge must follow.
+    assert unt.locations == {(0, 0): 1}
+
+
+def test_unregister_rules(system):
+    proc = system.create_process("unt-unreg")
+    unt = UserNextTouch(proc)
+
+    def body(t):
+        addr = yield from make_buffer(t, 4)
+        region = unt.register(addr, 4 * PAGE_SIZE)
+        yield from unt.mark(t, region)
+        return region
+
+    region = drive(system, body, process=proc)
+    with pytest.raises(ValueError):
+        unt.unregister(region)
+    region.marked = [False] * region.num_chunks
+    unt.unregister(region)
+    assert unt.regions == []
+
+
+# --------------------------------------------------------- kernel wrapper ----
+def test_mark_next_touch_and_pending(system):
+    def body(t):
+        addr = yield from make_buffer(t, 8)
+        marked = yield from mark_next_touch(t, addr, 8 * PAGE_SIZE)
+        pend_before = pending_next_touch_pages(t, addr, 8 * PAGE_SIZE)
+        yield from t.touch(addr, 4 * PAGE_SIZE, bytes_per_page=64)
+        pend_after = pending_next_touch_pages(t, addr, 8 * PAGE_SIZE)
+        return marked, pend_before, pend_after
+
+    assert drive(system, body) == (8, 8, 4)
+
+
+# ------------------------------------------------------------- strategies ----
+@pytest.mark.parametrize("strategy_name", ["sync", "lazy-kernel", "lazy-user"])
+def test_strategies_end_state_equivalent(system, strategy_name):
+    """All migration strategies leave the buffer on the toucher's node."""
+    proc = system.create_process("strat")
+    shared = {}
+
+    def owner(t):
+        shared["addr"] = yield from make_buffer(t, 16)
+
+    drive(system, owner, core=0, process=proc)
+    if strategy_name == "sync":
+        strategy = SyncMovePages()
+    elif strategy_name == "lazy-kernel":
+        strategy = LazyKernelNextTouch()
+    else:
+        strategy = LazyUserNextTouch(UserNextTouch(proc))
+
+    def worker(t):
+        yield from strategy.migrate(t, shared["addr"], 16 * PAGE_SIZE, t.node)
+        yield from t.touch(shared["addr"], 16 * PAGE_SIZE, bytes_per_page=64)
+        return t.process.addr_space.node_histogram().tolist()
+
+    hist = drive(system, worker, core=13, process=proc)  # node 3
+    assert hist == [0, 0, 0, 16]
+
+
+def test_lazy_untouched_pages_stay(system):
+    """Lazy migration's headline property: untouched pages never move."""
+    proc = system.create_process("lazy-part")
+    shared = {}
+
+    def owner(t):
+        shared["addr"] = yield from make_buffer(t, 16)
+
+    drive(system, owner, core=0, process=proc)
+    strategy = LazyKernelNextTouch()
+
+    def worker(t):
+        yield from strategy.migrate(t, shared["addr"], 16 * PAGE_SIZE, None)
+        # touch only the first quarter
+        yield from t.touch(shared["addr"], 4 * PAGE_SIZE, bytes_per_page=64)
+        return t.process.addr_space.node_histogram().tolist()
+
+    hist = drive(system, worker, core=4, process=proc)  # node 1
+    assert hist == [12, 4, 0, 0]
+    assert system.kernel.stats.pages_migrated == 4
+
+
+def test_no_migration_strategy_is_inert(system):
+    proc = system.create_process("none")
+    shared = {}
+
+    def owner(t):
+        shared["addr"] = yield from make_buffer(t, 8)
+
+    drive(system, owner, core=0, process=proc)
+
+    def worker(t):
+        yield from NoMigration().migrate(t, shared["addr"], 8 * PAGE_SIZE, t.node)
+        yield from t.touch(shared["addr"], 8 * PAGE_SIZE, bytes_per_page=64)
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, worker, core=13, process=proc) == [8, 0, 0, 0]
+
+
+def test_sync_strategy_cost_paid_upfront_lazy_on_touch(system):
+    """Timing signature: sync pays at migrate(); lazy pays at touch."""
+    proc = system.create_process("timing")
+    shared = {}
+
+    def owner(t):
+        shared["addr"] = yield from make_buffer(t, 64)
+
+    drive(system, owner, core=0, process=proc)
+
+    def measure(strategy):
+        times = {}
+
+        def worker(t):
+            t0 = system.now
+            yield from strategy.migrate(t, shared["addr"], 64 * PAGE_SIZE, t.node)
+            times["migrate"] = system.now - t0
+            t0 = system.now
+            yield from t.touch(shared["addr"], 64 * PAGE_SIZE, bytes_per_page=64)
+            times["touch"] = system.now - t0
+
+        drive(system, worker, core=4, process=proc)
+        return times
+
+    sync_times = measure(SyncMovePages())
+    # Move data back to node 0 for a fair lazy measurement.
+    def back(t):
+        yield from t.move_range(shared["addr"], 64 * PAGE_SIZE, 0)
+
+    drive(system, back, core=0, process=proc)
+    lazy_times = measure(LazyKernelNextTouch())
+    assert sync_times["migrate"] > 100  # base overhead + copies
+    assert lazy_times["migrate"] < 50  # just the madvise
+    assert lazy_times["touch"] > sync_times["touch"]  # faults migrate

@@ -1,0 +1,75 @@
+"""Tests for NodeMask and nodestring parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.numa.nodemask import NodeMask, parse_nodestring
+
+
+def test_construction_and_queries():
+    m = NodeMask.of(0, 2, 3)
+    assert m.nodes() == (0, 2, 3)
+    assert m.weight() == len(m) == 3
+    assert 2 in m and 1 not in m
+    assert m.isset(3)
+    assert not m.isset(99)
+
+
+def test_all_mask():
+    assert NodeMask.all(4).nodes() == (0, 1, 2, 3)
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ConfigurationError):
+        NodeMask.of(64)
+    with pytest.raises(ConfigurationError):
+        NodeMask.of(-1)
+
+
+def test_set_algebra():
+    a = NodeMask.of(0, 1, 2)
+    b = NodeMask.of(2, 3)
+    assert a.union(b).nodes() == (0, 1, 2, 3)
+    assert a.intersection(b).nodes() == (2,)
+    assert a.difference(b).nodes() == (0, 1)
+
+
+def test_equality_and_hash():
+    assert NodeMask.of(1, 3) == NodeMask.of(3, 1)
+    assert len({NodeMask.of(1), NodeMask.of(1)}) == 1
+
+
+def test_nodestring_round_trip():
+    for text in ("0", "0-2", "0-2,5", "1,3,5-7"):
+        assert parse_nodestring(text).to_nodestring() == text
+
+
+def test_parse_all():
+    assert parse_nodestring("all", limit=4) == NodeMask.all(4)
+
+
+def test_parse_errors():
+    for bad in ("", "x", "3-1", "0-"):
+        with pytest.raises(ConfigurationError):
+            parse_nodestring(bad)
+
+
+def test_to_nodestring_merges_runs():
+    assert NodeMask.of(0, 1, 2, 4, 6, 7).to_nodestring() == "0-2,4,6-7"
+    assert NodeMask().to_nodestring() == ""
+
+
+def test_masks_feed_policies():
+    """The tuple form plugs straight into MemPolicy."""
+    from repro.kernel.mempolicy import MemPolicy
+
+    mask = parse_nodestring("1,3")
+    pol = MemPolicy.interleave(*mask)
+    assert pol.nodes == (1, 3)
+
+
+def test_mask_intersection_with_cpuset_semantics():
+    policy_nodes = parse_nodestring("0-3")
+    cpuset_mems = NodeMask.of(0, 1)
+    effective = policy_nodes.intersection(cpuset_mems)
+    assert effective.nodes() == (0, 1)

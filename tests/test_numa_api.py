@@ -1,0 +1,146 @@
+"""Tests for the libnuma-style API."""
+
+import pytest
+
+from conftest import drive
+from repro import Placement, System
+from repro.errors import ConfigurationError
+from repro.numa import (
+    numa_alloc_interleaved,
+    numa_alloc_local,
+    numa_alloc_onnode,
+    numa_distance,
+    numa_free,
+    numa_maps,
+    numa_node_of_page,
+    numa_num_configured_nodes,
+    numa_run_on_node,
+)
+from repro.util import PAGE_SIZE
+
+
+def test_alloc_onnode_places_on_first_touch(system):
+    def body(t):
+        addr = yield from numa_alloc_onnode(t, 8 * PAGE_SIZE, 2)
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=0) == [0, 0, 8, 0]
+
+
+def test_alloc_local_follows_thread(system):
+    def body(t):
+        addr = yield from numa_alloc_local(t, 4 * PAGE_SIZE)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=7) == [0, 4, 0, 0]  # core 7 = node 1
+
+
+def test_alloc_interleaved_round_robins(system):
+    def body(t):
+        addr = yield from numa_alloc_interleaved(t, 8 * PAGE_SIZE)
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, body) == [2, 2, 2, 2]
+
+
+def test_alloc_interleaved_subset(system):
+    def body(t):
+        addr = yield from numa_alloc_interleaved(t, 8 * PAGE_SIZE, nodes=[1, 3])
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, body) == [0, 4, 0, 4]
+
+
+def test_alloc_onnode_validates_node(system):
+    def body(t):
+        yield from numa_alloc_onnode(t, PAGE_SIZE, 99)
+
+    with pytest.raises(ConfigurationError):
+        drive(system, body)
+
+
+def test_numa_free_releases(system):
+    def body(t):
+        addr = yield from numa_alloc_onnode(t, 4 * PAGE_SIZE, 1)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+        used = system.kernel.allocators[1].used
+        freed = yield from numa_free(t, addr, 4 * PAGE_SIZE)
+        return freed, used - system.kernel.allocators[1].used
+
+    assert drive(system, body) == (4, 4)
+
+
+def test_node_of_page(system):
+    def body(t):
+        addr = yield from numa_alloc_onnode(t, PAGE_SIZE, 3)
+        before = yield from numa_node_of_page(t, addr)
+        yield from t.touch(addr, PAGE_SIZE)
+        after = yield from numa_node_of_page(t, addr)
+        return before, after
+
+    assert drive(system, body) == (-1, 3)
+
+
+def test_run_on_node_moves_thread(system):
+    def body(t):
+        core = yield from numa_run_on_node(t, 2, system.scheduler)
+        return core, t.node
+
+    core, node = drive(system, body, core=0)
+    assert node == 2
+    assert core in system.machine.cores_of_node(2)
+
+
+def test_num_nodes_and_distance(system):
+    def body(t):
+        yield t.kernel.env.timeout(0)
+        return (
+            numa_num_configured_nodes(t),
+            numa_distance(t, 0, 0),
+            numa_distance(t, 0, 1),
+            numa_distance(t, 0, 3),
+        )
+
+    assert drive(system, body) == (4, 10, 16, 22)
+
+
+def test_numa_maps_annotates_swap_file_and_shared(system):
+    from repro.kernel.files import SimFile, mmap_file
+    from repro.kernel.swap import attach_swap
+    from repro.kernel.vma import PROT_READ, PROT_RW
+
+    attach_swap(system.kernel)
+    proc = system.create_process("annot")
+    f = SimFile(system.kernel, "report.bin", 2 * PAGE_SIZE)
+
+    def body(t):
+        anon = yield from t.mmap(4 * PAGE_SIZE, PROT_RW, name="heap")
+        yield from t.touch(anon, 4 * PAGE_SIZE)
+        yield from t.swap_out(anon, 2 * PAGE_SIZE)
+        yield from mmap_file(t, f, PROT_READ)
+        sh = yield from t.mmap(PAGE_SIZE, PROT_RW, shared=True, name="shm")
+        yield from t.touch(sh, PAGE_SIZE)
+
+    drive(system, body, core=0, process=proc)
+    report = numa_maps(proc)
+    assert "swapcache=2" in report
+    assert "file=report.bin" in report
+    assert "shared" in report
+
+
+def test_numa_maps_report(system):
+    proc = system.create_process("maps")
+
+    def body(t):
+        addr = yield from numa_alloc_onnode(t, 4 * PAGE_SIZE, 1, name="mybuf")
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+
+    drive(system, body, core=0, process=proc)
+    report = numa_maps(proc)
+    assert "bind:1" in report
+    assert "N1=4" in report
+    assert "mybuf" in report

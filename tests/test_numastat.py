@@ -1,0 +1,70 @@
+"""Tests for numastat allocation counters."""
+
+import pytest
+
+from conftest import drive
+from repro import Machine, MemPolicy, PROT_RW, System
+from repro.kernel.core import NumaStats
+from repro.util import PAGE_SIZE
+
+
+def test_local_first_touch_counts_hits(system):
+    def body(t):
+        addr = yield from t.mmap(8 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+
+    drive(system, body, core=9)  # node 2
+    ns = system.kernel.numastat
+    assert ns.numa_hit[2] == 8
+    assert sum(ns.numa_miss) == 0
+
+
+def test_interleave_counts_interleave_hits(system):
+    def body(t):
+        addr = yield from t.mmap(
+            8 * PAGE_SIZE, PROT_RW, policy=MemPolicy.interleave(0, 1, 2, 3)
+        )
+        yield from t.touch(addr, 8 * PAGE_SIZE, batch=8)
+
+    drive(system, body, core=0)
+    ns = system.kernel.numastat
+    assert ns.interleave_hit == [2, 2, 2, 2]
+    assert ns.numa_hit == [2, 2, 2, 2]
+
+
+def test_spill_counts_miss_and_foreign():
+    tiny = Machine.symmetric(2, 2, mem_per_node=8 * PAGE_SIZE)
+    system = System(tiny)
+
+    def body(t):
+        addr = yield from t.mmap(12 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 12 * PAGE_SIZE)  # 8 local + 4 spill
+
+    drive(system, body, core=0)
+    ns = system.kernel.numastat
+    assert ns.numa_hit[0] == 8
+    assert ns.numa_miss[1] == 4  # landed on 1, wanted 0
+    assert ns.numa_foreign[0] == 4  # node 0 turned them away
+
+
+def test_numastat_table_shape():
+    ns = NumaStats(3)
+    ns.record(intended=0, got=0, count=5, interleaved=False)
+    ns.record(intended=0, got=2, count=3, interleaved=False)
+    table = ns.as_table()
+    assert table["numa_hit"] == [5, 0, 0]
+    assert table["numa_miss"] == [0, 0, 3]
+    assert table["numa_foreign"] == [3, 0, 0]
+
+
+def test_memory_report_includes_numastat(system):
+    def body(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+
+    drive(system, body, core=0)
+    from repro.report import memory_report
+
+    report = memory_report(system)
+    assert "numa_hit" in report
+    assert "numastat" in report

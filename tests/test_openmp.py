@@ -1,0 +1,227 @@
+"""Tests for the OpenMP-like runtime."""
+
+import numpy as np
+import pytest
+
+from conftest import drive
+from repro import Madvise, Placement, PROT_RW, System
+from repro.errors import ConfigurationError
+from repro.openmp import OpenMP
+from repro.openmp.runtime import _static_blocks
+from repro.util import PAGE_SIZE
+
+
+def make_omp(system, n=4, placement=Placement.SPREAD):
+    proc = system.create_process("omp")
+    return proc, OpenMP(system, proc, n, placement)
+
+
+def test_static_blocks_partition():
+    assert _static_blocks(10, 3) == [(0, 4), (4, 7), (7, 10)]
+    assert _static_blocks(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+    assert _static_blocks(2, 4) == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+
+def test_parallel_runs_whole_team(fast_system):
+    proc, omp = make_omp(fast_system, 4)
+    seen = []
+
+    def region(rank, t):
+        yield t.kernel.env.timeout(1.0)
+        seen.append((rank, t.node))
+
+    def master(t):
+        yield from omp.parallel(region)
+
+    drive(fast_system, master, process=proc)
+    assert sorted(r for r, _ in seen) == [0, 1, 2, 3]
+    # SPREAD placement: one thread per node on the 4x4 machine.
+    assert sorted(n for _, n in seen) == [0, 1, 2, 3]
+
+
+def test_parallel_join_waits_for_slowest(fast_system):
+    proc, omp = make_omp(fast_system, 3)
+
+    def region(rank, t):
+        yield t.kernel.env.timeout(10.0 * (rank + 1))
+
+    def master(t):
+        t0 = fast_system.now
+        yield from omp.parallel(region)
+        return fast_system.now - t0
+
+    elapsed = drive(fast_system, master, process=proc)
+    assert elapsed >= 30.0
+
+
+def test_parallel_for_static_covers_range_once(fast_system):
+    proc, omp = make_omp(fast_system, 4)
+    hits = np.zeros(100, dtype=int)
+
+    def body(t, start, stop):
+        yield t.kernel.env.timeout(0.1)
+        hits[start:stop] += 1
+
+    def master(t):
+        yield from omp.parallel_for(100, body)
+
+    drive(fast_system, master, process=proc)
+    assert (hits == 1).all()
+
+
+def test_parallel_for_static_chunked(fast_system):
+    proc, omp = make_omp(fast_system, 2)
+    chunks = []
+
+    def body(t, start, stop):
+        yield t.kernel.env.timeout(0.1)
+        chunks.append((start, stop))
+
+    def master(t):
+        yield from omp.parallel_for(10, body, schedule="static", chunk=2)
+
+    drive(fast_system, master, process=proc)
+    assert sorted(chunks) == [(0, 2), (2, 4), (4, 6), (6, 8), (8, 10)]
+
+
+def test_parallel_for_dynamic_covers_range_once(fast_system):
+    proc, omp = make_omp(fast_system, 4)
+    hits = np.zeros(37, dtype=int)
+
+    def body(t, start, stop):
+        yield t.kernel.env.timeout(float(start % 3))
+        hits[start:stop] += 1
+
+    def master(t):
+        yield from omp.parallel_for(37, body, schedule="dynamic", chunk=3)
+
+    drive(fast_system, master, process=proc)
+    assert (hits == 1).all()
+
+
+def test_parallel_for_dynamic_balances_load(fast_system):
+    """Dynamic scheduling lets fast threads steal the tail."""
+    proc, omp = make_omp(fast_system, 2)
+    per_thread = {}
+
+    def body(t, start, stop):
+        # iteration 0 is very slow, the rest quick
+        yield t.kernel.env.timeout(100.0 if start == 0 else 1.0)
+        per_thread.setdefault(t.name, 0)
+        per_thread[t.name] += stop - start
+
+    def master(t):
+        t0 = fast_system.now
+        yield from omp.parallel_for(20, body, schedule="dynamic", chunk=1)
+        return fast_system.now - t0
+
+    elapsed = drive(fast_system, master, process=proc)
+    assert elapsed < 140.0  # not serialized behind the slow iteration
+    assert max(per_thread.values()) >= 15  # one thread took the tail
+
+
+def test_region_entry_hook_runs_before_workers(fast_system):
+    proc, omp = make_omp(fast_system, 2)
+    order = []
+
+    def hook(t):
+        yield t.kernel.env.timeout(5.0)
+        order.append(("hook", fast_system.now))
+
+    def region(rank, t):
+        yield t.kernel.env.timeout(1.0)
+        order.append((f"w{rank}", fast_system.now))
+
+    omp.region_entry_hook = hook
+
+    def master(t):
+        yield from omp.parallel(region)
+
+    drive(fast_system, master, process=proc)
+    assert order[0][0] == "hook"
+    assert all(ts >= order[0][1] for _, ts in order[1:])
+
+
+def test_next_touch_hook_redistributes_data(system):
+    """The paper's integration point: a next-touch madvise hook at
+    region entry makes data follow the OpenMP threads."""
+    proc = system.create_process("omp-nt")
+    omp = OpenMP(system, proc, 4, Placement.SPREAD)
+    shared = {}
+    N = 64 * PAGE_SIZE
+
+    def setup(t):
+        addr = yield from t.mmap(N, PROT_RW, name="data")
+        yield from t.touch(addr, N)  # all on node 0
+        shared["addr"] = addr
+
+    drive(system, setup, core=0, process=proc)
+
+    def hook(t):
+        yield from t.madvise(shared["addr"], N, Madvise.NEXTTOUCH)
+
+    omp.region_entry_hook = hook
+
+    def region(rank, t):
+        # each worker touches its quarter
+        quarter = N // 4
+        yield from t.touch(shared["addr"] + rank * quarter, quarter, bytes_per_page=64)
+
+    def master(t):
+        yield from omp.parallel(region)
+
+    drive(system, master, process=proc)
+    hist = proc.addr_space.node_histogram()
+    assert hist.tolist() == [16, 16, 16, 16]  # data followed the team
+
+
+def test_worker_exception_propagates(fast_system):
+    proc, omp = make_omp(fast_system, 2)
+
+    def region(rank, t):
+        yield t.kernel.env.timeout(1.0)
+        if rank == 1:
+            raise RuntimeError("worker died")
+
+    def master(t):
+        yield from omp.parallel(region)
+
+    with pytest.raises(RuntimeError, match="worker died"):
+        drive(fast_system, master, process=proc)
+
+
+def test_bad_configuration_rejected(fast_system):
+    proc = fast_system.create_process("bad")
+    with pytest.raises(ConfigurationError):
+        OpenMP(fast_system, proc, 0)
+    omp = OpenMP(fast_system, proc, 2)
+
+    def master(t):
+        yield from omp.parallel_for(10, lambda t, a, b: None, schedule="guided")
+
+    with pytest.raises(ConfigurationError):
+        drive(fast_system, master, process=proc)
+
+
+def test_single_runs_once(fast_system):
+    proc, omp = make_omp(fast_system, 4)
+    counter = []
+
+    def once(t):
+        yield t.kernel.env.timeout(1.0)
+        counter.append(1)
+        return "val"
+
+    def master(t):
+        result = yield from omp.single(once)
+        return result
+
+    assert drive(fast_system, master, process=proc) == "val"
+    assert counter == [1]
+
+
+def test_oversubscription_wraps_cores(fast_system):
+    proc = fast_system.create_process("over")
+    omp = OpenMP(fast_system, proc, 20)  # more threads than 16 cores
+    assert len(omp.cores) == 20
+    assert len(set(omp.cores)) == 16

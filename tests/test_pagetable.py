@@ -1,0 +1,146 @@
+"""Unit tests for PTE arrays and flag semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel.pagetable import (
+    PTE_NEXTTOUCH,
+    PTE_PRESENT,
+    PTE_WRITE,
+    PageTable,
+)
+
+
+def mapped_table(n=8, node=0, writable=True):
+    pt = PageTable(n)
+    frames = np.arange(100, 100 + n, dtype=np.int64)
+    pt.map_pages(slice(None), frames, np.full(n, node, dtype=np.int16), writable)
+    return pt
+
+
+def test_fresh_table_is_empty():
+    pt = PageTable(4)
+    assert not pt.present().any()
+    assert not pt.populated().any()
+    assert pt.resident_pages() == 0
+
+
+def test_map_pages_sets_bits():
+    pt = mapped_table()
+    assert pt.present().all()
+    assert pt.writable().all()
+    assert (pt.node == 0).all()
+    pt.check_invariants()
+
+
+def test_map_readonly():
+    pt = mapped_table(writable=False)
+    assert pt.present().all()
+    assert not pt.writable().any()
+
+
+def test_unmap_returns_frames():
+    pt = mapped_table(4)
+    frames, nodes = pt.unmap_pages(slice(1, 3))
+    assert list(frames) == [101, 102]
+    assert list(nodes) == [0, 0]
+    assert pt.resident_pages() == 2
+    pt.check_invariants()
+
+
+def test_mark_next_touch_clears_valid_keeps_frame():
+    pt = mapped_table(4)
+    marked = pt.mark_next_touch(slice(None))
+    assert marked == 4
+    assert not pt.present().any()
+    assert pt.populated().all()  # frames retained — data not lost
+    assert pt.next_touch().all()
+    pt.check_invariants()
+
+
+def test_mark_next_touch_skips_unpopulated_and_already_marked():
+    pt = PageTable(4)
+    frames = np.asarray([7, 8], dtype=np.int64)
+    pt.map_pages(slice(0, 2), frames, np.zeros(2, dtype=np.int16), True)
+    assert pt.mark_next_touch(slice(None)) == 2
+    assert pt.mark_next_touch(slice(None)) == 0  # idempotent
+
+
+def test_clear_next_touch_restores_access():
+    pt = mapped_table(4)
+    pt.mark_next_touch(slice(None))
+    pt.clear_next_touch(slice(None), writable=True)
+    assert pt.present().all()
+    assert pt.writable().all()
+    assert not pt.next_touch().any()
+    pt.check_invariants()
+
+
+def test_set_protection_counts_changes():
+    pt = mapped_table(8)
+    changed = pt.set_protection(slice(None), readable=True, writable=False)
+    assert changed == 8  # lost WRITE
+    assert pt.set_protection(slice(None), readable=True, writable=False) == 0
+
+
+def test_set_protection_none_keeps_frames():
+    pt = mapped_table(4)
+    pt.set_protection(slice(None), readable=False, writable=False)
+    assert not pt.present().any()
+    assert pt.populated().all()
+
+
+def test_set_protection_ignores_unpopulated():
+    pt = PageTable(4)
+    changed = pt.set_protection(slice(None), readable=True, writable=True)
+    assert changed == 0
+    assert not pt.present().any()
+
+
+def test_write_only_rejected():
+    pt = PageTable(2)
+    with pytest.raises(SimulationError):
+        pt.set_protection(slice(None), readable=False, writable=True)
+
+
+def test_node_histogram():
+    pt = PageTable(6)
+    pt.map_pages(slice(0, 3), np.asarray([1, 2, 3]), np.asarray([0, 0, 0], dtype=np.int16), True)
+    pt.map_pages(slice(3, 5), np.asarray([4, 5]), np.asarray([2, 2], dtype=np.int16), True)
+    hist = pt.node_histogram(4)
+    assert list(hist) == [3, 0, 2, 0]
+
+
+def test_split_preserves_state():
+    pt = mapped_table(8)
+    pt.mark_next_touch(slice(4, 6))
+    left, right = pt.split(4)
+    assert left.npages == 4 and right.npages == 8 - 4
+    assert left.present().all()
+    assert right.next_touch()[:2].all()
+    assert not right.next_touch()[2:].any()
+    left.check_invariants()
+    right.check_invariants()
+
+
+def test_split_bounds():
+    pt = PageTable(4)
+    with pytest.raises(SimulationError):
+        pt.split(0)
+    with pytest.raises(SimulationError):
+        pt.split(4)
+
+
+def test_invariant_present_without_frame():
+    pt = PageTable(2)
+    pt.flags[0] = PTE_PRESENT
+    with pytest.raises(SimulationError, match="PRESENT page without a frame"):
+        pt.check_invariants()
+
+
+def test_invariant_nexttouch_still_present():
+    pt = mapped_table(2)
+    pt.flags[0] |= PTE_NEXTTOUCH
+    with pytest.raises(SimulationError, match="NEXTTOUCH"):
+        pt.check_invariants()

@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These exercise the data structures with adversarial inputs the
+hand-written tests would not think of: random mmap/mprotect/madvise
+sequences must keep the address space consistent; frame allocators must
+conserve frames; migration must preserve placement totals and page
+payloads; interleaving must be exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Madvise, MemPolicy, PROT_NONE, PROT_READ, PROT_RW, System
+from repro.kernel.frames import FrameAllocator
+from repro.kernel.pagetable import PageTable
+from repro.sim import BandwidthResource, Environment, Mutex
+from repro.util import PAGE_SIZE
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------- frame pools ----
+@_SETTINGS
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=32)), max_size=40
+    )
+)
+def test_frame_allocator_conserves_frames(ops):
+    fa = FrameAllocator(1, 256 * PAGE_SIZE)
+    live: list[np.ndarray] = []
+    for is_alloc, count in ops:
+        if is_alloc and fa.free >= count:
+            live.append(fa.alloc_many(count))
+        elif not is_alloc and live:
+            fa.free_many(live.pop())
+    held = sum(a.size for a in live)
+    assert fa.used == held
+    assert fa.free == fa.capacity - held
+    for arr in live:
+        fa.free_many(arr)
+    assert fa.used == 0
+
+
+# ------------------------------------------------------------ page table ----
+@_SETTINGS
+@given(
+    n=st.integers(min_value=2, max_value=128),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_pagetable_mark_clear_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    pt = PageTable(n)
+    populated = rng.random(n) < 0.7
+    idx = np.nonzero(populated)[0]
+    if idx.size:
+        pt.map_pages(idx, idx + 100, np.zeros(idx.size, dtype=np.int16), True)
+    marked = pt.mark_next_touch(slice(None))
+    assert marked == idx.size
+    pt.check_invariants()
+    pt.clear_next_touch(slice(None), writable=True)
+    pt.check_invariants()
+    assert pt.present().sum() == idx.size
+    assert not pt.next_touch().any()
+
+
+@_SETTINGS
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    at=st.integers(min_value=1, max_value=63),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_pagetable_split_preserves_every_pte(n, at, seed):
+    if at >= n:
+        at = n - 1
+    rng = np.random.default_rng(seed)
+    pt = PageTable(n)
+    idx = np.nonzero(rng.random(n) < 0.5)[0]
+    if idx.size:
+        pt.map_pages(idx, idx + 7, np.full(idx.size, 2, dtype=np.int16), False)
+    frames_before = pt.frame.copy()
+    left, right = pt.split(at)
+    rejoined = np.concatenate([left.frame, right.frame])
+    assert (rejoined == frames_before).all()
+
+
+# ------------------------------------------------------- address spaces ----
+@_SETTINGS
+@given(
+    data=st.data(),
+    npages=st.integers(min_value=4, max_value=64),
+)
+def test_random_mprotect_sequences_keep_space_consistent(data, npages):
+    system = System()
+    proc = system.create_process("prop")
+    space = proc.addr_space
+    vma = space.mmap(npages * PAGE_SIZE, PROT_RW, name="buf")
+    base = vma.start
+    for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+        start = data.draw(st.integers(min_value=0, max_value=npages - 1))
+        length = data.draw(st.integers(min_value=1, max_value=npages - start))
+        prot = data.draw(st.sampled_from([PROT_NONE, PROT_READ, PROT_RW]))
+        space.apply_protection(base + start * PAGE_SIZE, length * PAGE_SIZE, prot)
+        space.check_invariants()
+    # Page count over the original range is conserved.
+    total = sum(
+        stop - first for _v, first, stop in space.range_segments(base, npages * PAGE_SIZE)
+    )
+    assert total == npages
+
+
+@_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_interleave_distribution_is_exact(seed):
+    rng = np.random.default_rng(seed)
+    nodes = tuple(sorted(rng.choice(4, size=rng.integers(1, 5), replace=False).tolist()))
+    npages = int(rng.integers(4, 128))
+    system = System()
+    proc = system.create_process("ilv")
+
+    def body(t):
+        addr = yield from t.mmap(
+            npages * PAGE_SIZE, PROT_RW, policy=MemPolicy.interleave(*nodes)
+        )
+        yield from t.touch(addr, npages * PAGE_SIZE, batch=16)
+        return proc.addr_space.node_histogram()
+
+    thread = system.spawn(proc, 0, body)
+    hist = system.run_to(thread.join())
+    for node in range(4):
+        expected = sum(1 for v in range(npages) if nodes[v % len(nodes)] == node)
+        assert hist[node] == expected
+
+
+# ------------------------------------------------------------- migration ----
+@_SETTINGS
+@given(
+    npages=st.integers(min_value=1, max_value=48),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_random_move_pages_preserve_contents_and_totals(npages, seed):
+    rng = np.random.default_rng(seed)
+    system = System(track_contents=True, debug_checks=True)
+    proc = system.create_process("mig")
+    payload = rng.integers(0, 256, size=64, dtype=np.uint8)
+
+    def body(t):
+        addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, npages * PAGE_SIZE)
+        yield from t.write_bytes(addr, payload)
+        for _ in range(3):
+            pages = addr + PAGE_SIZE * rng.permutation(npages)[: rng.integers(1, npages + 1)]
+            dests = rng.integers(0, 4, size=pages.size)
+            yield from t.move_pages(np.sort(pages), dests)
+        data = yield from t.read_bytes(addr, 64)
+        return data
+
+    thread = system.spawn(proc, 0, body)
+    data = system.run_to(thread.join())
+    assert (data == payload).all()
+    assert proc.addr_space.node_histogram().sum() == npages
+
+
+@_SETTINGS
+@given(
+    npages=st.integers(min_value=1, max_value=64),
+    core=st.integers(min_value=0, max_value=15),
+)
+def test_next_touch_always_lands_on_toucher_node(npages, core):
+    system = System()
+    proc = system.create_process("nt")
+
+    def body(t):
+        addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, npages * PAGE_SIZE, batch=16)
+        yield from t.madvise(addr, npages * PAGE_SIZE, Madvise.NEXTTOUCH)
+        yield from t.migrate_to(core)
+        yield from t.touch(addr, npages * PAGE_SIZE, bytes_per_page=64, batch=8)
+        return proc.addr_space.node_histogram()
+
+    thread = system.spawn(proc, 0, body)
+    hist = system.run_to(thread.join())
+    node = system.machine.node_of_core(core)
+    assert hist[node] == npages
+    assert hist.sum() == npages
+
+
+# ---------------------------------------------------------------- engine ----
+@_SETTINGS
+@given(
+    holds=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10)
+)
+def test_mutex_serializes_any_schedule(holds):
+    env = Environment()
+    lock = Mutex(env)
+    intervals = []
+
+    def worker(hold):
+        yield lock.acquire()
+        start = env.now
+        yield env.timeout(hold)
+        lock.release()
+        intervals.append((start, env.now))
+
+    for hold in holds:
+        env.process(worker(hold))
+    env.run()
+    intervals.sort()
+    for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1 - 1e-9  # no overlap ever
+    assert env.now == pytest.approx(sum(holds))
+
+
+@_SETTINGS
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=8)
+)
+def test_bandwidth_resource_conserves_work(sizes):
+    env = Environment()
+    link = BandwidthResource(env, capacity=100.0)
+
+    def proc(nbytes):
+        yield link.transfer(nbytes)
+
+    for nbytes in sizes:
+        env.process(proc(nbytes))
+    env.run()
+    assert link.bytes_transferred == pytest.approx(sum(sizes), rel=1e-6)
+    # Total time is bounded by serial/parallel extremes.
+    assert env.now >= max(sizes) / 100.0 - 1e-6
+    assert env.now <= sum(sizes) / 100.0 + 1e-6

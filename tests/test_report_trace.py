@@ -1,0 +1,132 @@
+"""Tests for the reporting helpers and the event tracer."""
+
+import pytest
+
+from conftest import drive
+from repro import Madvise, PROT_RW, System
+from repro.report import ledger_report, lock_report, memory_report, system_report
+from repro.sim.trace import TraceSample, Tracer
+from repro.util import PAGE_SIZE
+
+
+def _busy_system():
+    system = System()
+
+    def body(t):
+        addr = yield from t.mmap(32 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 32 * PAGE_SIZE)
+        yield from t.move_range(addr, 32 * PAGE_SIZE, 2)
+        yield from t.madvise(addr, 32 * PAGE_SIZE, Madvise.NEXTTOUCH)
+        yield from t.migrate_to(13)
+        yield from t.touch(addr, 32 * PAGE_SIZE, bytes_per_page=64)
+
+    drive(system, body, core=0)
+    return system
+
+
+# ---------------------------------------------------------------- reports ----
+def test_memory_report_shows_usage():
+    report = memory_report(_busy_system())
+    assert "node" in report
+    assert "32" in report  # pages used on node 3
+
+
+def test_ledger_report_ranks_components():
+    report = ledger_report(_busy_system())
+    assert "move_pages" in report
+    assert "%" in report
+
+
+def test_lock_report_lists_acquisitions():
+    report = lock_report(_busy_system())
+    assert "acquisitions" in report
+
+
+def test_system_report_contains_all_sections():
+    report = system_report(_busy_system())
+    for needle in ("kernel statistics", "memory nodes", "cost ledger", "pages migrated"):
+        assert needle in report
+
+
+def test_topology_report_square_machine():
+    from repro import Machine
+    from repro.report import topology_report
+
+    art = topology_report(Machine.opteron_8347he_quad())
+    assert "Transport" in art
+    assert "#0" in art and "#3" in art
+    assert "SLIT" in art and "22" in art
+
+
+def test_topology_report_generic_machine():
+    from repro import Machine
+    from repro.report import topology_report
+
+    art = topology_report(Machine.symmetric(2, 4))
+    assert "0 <-> 1" in art
+
+
+def test_reports_on_fresh_system_do_not_crash():
+    system = System()
+    assert "empty" in ledger_report(system)
+    assert "no acquisitions" in lock_report(system)
+    assert "idle" in system_report(system)
+
+
+# ----------------------------------------------------------------- tracer ----
+def test_tracer_records_and_totals():
+    tr = Tracer()
+    tr.record(0.0, 5.0, "a.x")
+    tr.record(5.0, 5.0, "a.y")
+    tr.record(10.0, 2.0, "b")
+    assert tr.total() == pytest.approx(12.0)
+    assert tr.total("a.") == pytest.approx(10.0)
+    assert len(tr.filter("a.")) == 2
+    assert tr.span() == (0.0, 12.0)
+
+
+def test_tracer_capacity_evicts_oldest():
+    tr = Tracer(capacity=3)
+    for i in range(5):
+        tr.record(float(i), 1.0, f"t{i}")
+    assert len(tr.samples) == 3
+    assert tr.dropped == 2
+    assert tr.samples[0].tag == "t2"
+
+
+def test_tracer_attach_captures_kernel_charges():
+    system = System()
+    tr = Tracer()
+    tr.attach(system.kernel)
+
+    def body(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+
+    drive(system, body)
+    assert tr.total("fault.") > 0
+    # Ledger still records through the hooked path.
+    assert system.kernel.ledger.totals["fault.anon"] > 0
+
+
+def test_tracer_timeline_renders():
+    tr = Tracer()
+    tr.record(0.0, 50.0, "copy.page")
+    tr.record(50.0, 50.0, "control.pte")
+    art = tr.timeline(width=20)
+    assert "copy" in art and "control" in art
+    assert "#" in art
+
+
+def test_tracer_timeline_empty():
+    assert Tracer().timeline() == "trace: empty"
+
+
+def test_trace_sample_end():
+    s = TraceSample(3.0, 4.0, "x")
+    assert s.end_us == 7.0
+
+
+def test_tracer_validation():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)

@@ -1,0 +1,181 @@
+"""Tests for the reader-writer lock and memory-pressure behaviour."""
+
+import numpy as np
+import pytest
+
+from conftest import drive
+from repro import Machine, MemPolicy, PROT_RW, System
+from repro.errors import OutOfMemory, SimulationError
+from repro.sim import Environment, RwLock
+from repro.util import MiB, PAGE_SIZE
+
+
+# ----------------------------------------------------------------- RwLock ----
+def test_readers_share():
+    env = Environment()
+    lock = RwLock(env)
+    done = []
+
+    def reader(tag):
+        yield lock.acquire_read()
+        yield env.timeout(10.0)
+        lock.release_read()
+        done.append((tag, env.now))
+
+    for tag in range(3):
+        env.process(reader(tag))
+    env.run()
+    assert all(now == 10.0 for _t, now in done)  # fully concurrent
+
+
+def test_writer_excludes_readers():
+    env = Environment()
+    lock = RwLock(env)
+    order = []
+
+    def writer():
+        yield lock.acquire_write()
+        order.append(("w-in", env.now))
+        yield env.timeout(10.0)
+        lock.release_write()
+
+    def reader():
+        yield env.timeout(1.0)
+        yield lock.acquire_read()
+        order.append(("r-in", env.now))
+        lock.release_read()
+
+    env.process(writer())
+    env.process(reader())
+    env.run()
+    assert order == [("w-in", 0.0), ("r-in", 10.0)]
+
+
+def test_queued_writer_blocks_new_readers():
+    """Writer preference: readers arriving behind a queued writer wait."""
+    env = Environment()
+    lock = RwLock(env)
+    order = []
+
+    def long_reader():
+        yield lock.acquire_read()
+        yield env.timeout(10.0)
+        lock.release_read()
+
+    def writer():
+        yield env.timeout(1.0)
+        yield lock.acquire_write()
+        order.append(("w", env.now))
+        yield env.timeout(5.0)
+        lock.release_write()
+
+    def late_reader():
+        yield env.timeout(2.0)
+        yield lock.acquire_read()
+        order.append(("r", env.now))
+        lock.release_read()
+
+    env.process(long_reader())
+    env.process(writer())
+    env.process(late_reader())
+    env.run()
+    assert order == [("w", 10.0), ("r", 15.0)]
+
+
+def test_rwlock_release_unheld_rejected():
+    env = Environment()
+    lock = RwLock(env)
+    with pytest.raises(SimulationError):
+        lock.release_read()
+    with pytest.raises(SimulationError):
+        lock.release_write()
+
+
+def test_rwlock_stats_track_contention():
+    env = Environment()
+    lock = RwLock(env)
+
+    def writer():
+        yield lock.acquire_write()
+        yield env.timeout(5.0)
+        lock.release_write()
+
+    env.process(writer())
+    env.process(writer())
+    env.run()
+    assert lock.stats.acquisitions == 2
+    assert lock.stats.contended == 1
+    assert lock.stats.wait_time == pytest.approx(5.0)
+
+
+# --------------------------------------------------------- memory pressure ---
+def tiny_machine():
+    """A machine whose nodes hold only 64 pages each."""
+    return Machine.symmetric(2, 2, mem_per_node=64 * PAGE_SIZE)
+
+
+def test_bind_policy_fails_when_node_full():
+    system = System(tiny_machine())
+
+    def body(t):
+        addr = yield from t.mmap(100 * PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(1))
+        yield from t.touch(addr, 100 * PAGE_SIZE)
+
+    proc = system.create_process("oom")
+    thread = system.spawn(proc, 0, body)
+    with pytest.raises(OutOfMemory):
+        system.run_to(thread.join())
+
+
+def test_default_policy_spills_to_other_node():
+    system = System(tiny_machine())
+
+    def body(t):
+        addr = yield from t.mmap(96 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 96 * PAGE_SIZE)  # 64 local + 32 spilled
+        return t.process.addr_space.node_histogram().tolist()
+
+    hist = drive(system, body, core=0)
+    assert hist == [64, 32]
+
+
+def test_preferred_policy_spills_gracefully():
+    system = System(tiny_machine())
+
+    def body(t):
+        addr = yield from t.mmap(80 * PAGE_SIZE, PROT_RW, policy=MemPolicy.preferred(1))
+        yield from t.touch(addr, 80 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    hist = drive(system, body, core=0)
+    assert hist == [16, 64]
+
+
+def test_migration_to_full_node_raises():
+    system = System(tiny_machine())
+
+    def body(t):
+        filler = yield from t.mmap(60 * PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(1))
+        yield from t.touch(filler, 60 * PAGE_SIZE)
+        victim = yield from t.mmap(32 * PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(0))
+        yield from t.touch(victim, 32 * PAGE_SIZE)
+        yield from t.move_range(victim, 32 * PAGE_SIZE, 1)  # only 4 frames free
+
+    proc = system.create_process("full")
+    thread = system.spawn(proc, 0, body)
+    with pytest.raises(OutOfMemory):
+        system.run_to(thread.join())
+
+
+def test_munmap_makes_room_again():
+    system = System(tiny_machine())
+
+    def body(t):
+        a = yield from t.mmap(64 * PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(0))
+        yield from t.touch(a, 64 * PAGE_SIZE)
+        yield from t.munmap(a, 64 * PAGE_SIZE)
+        b = yield from t.mmap(64 * PAGE_SIZE, PROT_RW, policy=MemPolicy.bind(0))
+        yield from t.touch(b, 64 * PAGE_SIZE)
+        return system.kernel.allocators[0].free
+
+    assert drive(system, body, core=0) == 0

@@ -1,0 +1,130 @@
+"""Tests for thread placement and thread lifecycle."""
+
+import pytest
+
+from conftest import drive
+from repro import Placement, Scheduler, System
+from repro.errors import ConfigurationError, SimulationError
+from repro.sched.thread import SimThread
+
+
+@pytest.fixture
+def sched():
+    return Scheduler(System().machine)
+
+
+def test_spread_one_per_node_first(sched):
+    cores = sched.place(4, Placement.SPREAD)
+    nodes = [c // 4 for c in cores]
+    assert sorted(nodes) == [0, 1, 2, 3]
+
+
+def test_spread_fills_second_core_per_node(sched):
+    cores = sched.place(8, Placement.SPREAD)
+    nodes = [c // 4 for c in cores]
+    assert sorted(nodes) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_compact_fills_node_first(sched):
+    cores = sched.place(4, Placement.COMPACT)
+    assert cores == [0, 1, 2, 3]  # all node 0
+    cores = sched.place(6, Placement.COMPACT)
+    assert cores == [0, 1, 2, 3, 4, 5]
+
+
+def test_single_node_placement(sched):
+    cores = sched.place(3, Placement.SINGLE_NODE, node=2)
+    assert all(c in (8, 9, 10, 11) for c in cores)
+
+
+def test_oversubscription_wraps(sched):
+    cores = sched.place(20, Placement.COMPACT)
+    assert len(cores) == 20
+    assert cores[16:] == [0, 1, 2, 3]
+
+
+def test_placement_validation(sched):
+    with pytest.raises(ConfigurationError):
+        sched.place(0)
+    with pytest.raises(ConfigurationError):
+        sched.place(2, Placement.SINGLE_NODE, node=9)
+
+
+def test_least_loaded_core(sched):
+    sched.record([8, 8, 9])
+    assert sched.least_loaded_core(2) == 10
+    assert sched.load_of_core(8) == 2
+
+
+def test_thread_requires_valid_core():
+    system = System()
+    proc = system.create_process("t")
+    with pytest.raises(SimulationError):
+        SimThread(proc, 99)
+
+
+def test_thread_cannot_start_twice():
+    system = System()
+    proc = system.create_process("t")
+    thread = SimThread(proc, 0)
+
+    def body(t):
+        yield t.kernel.env.timeout(1.0)
+
+    thread.start(body)
+    with pytest.raises(SimulationError):
+        thread.start(body)
+    system.run()
+
+
+def test_thread_join_returns_value(system):
+    def body(t):
+        yield t.kernel.env.timeout(2.0)
+        return "payload"
+
+    assert drive(system, body) == "payload"
+
+
+def test_migrate_to_updates_node_and_charges(system):
+    def body(t):
+        assert t.node == 0
+        t0 = system.now
+        yield from t.migrate_to(14)
+        return t.node, system.now - t0
+
+    node, elapsed = drive(system, body, core=0)
+    assert node == 3
+    assert elapsed == pytest.approx(system.machine.cost.thread_migrate_us)
+
+
+def test_running_cores_tracking(system):
+    proc = system.create_process("occ")
+    seen = {}
+
+    def parked(t):
+        yield t.kernel.env.timeout(50.0)
+
+    def prober(t):
+        yield t.kernel.env.timeout(10.0)
+        seen["others"] = sorted(proc.running_cores_except(t.core))
+
+    system.spawn(proc, 3, parked)
+    system.spawn(proc, 7, parked)
+    system.spawn(proc, 0, prober)
+    system.run()
+    assert seen["others"] == [3, 7]
+    # All threads finished: occupancy empty.
+    assert proc.running_cores_except(-1) == []
+
+
+def test_spawn_team_placement(system):
+    proc = system.create_process("team")
+    nodes = []
+
+    def body(rank, t):
+        yield t.kernel.env.timeout(1.0)
+        nodes.append((rank, t.node))
+
+    threads = system.spawn_team(proc, 4, body, Placement.SPREAD)
+    system.join_all(threads)
+    assert sorted(n for _r, n in nodes) == [0, 1, 2, 3]

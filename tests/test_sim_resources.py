@@ -1,0 +1,269 @@
+"""Unit tests for locks, barriers and bandwidth resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BandwidthResource, Barrier, Environment, Mutex, Semaphore
+
+
+# ---------------------------------------------------------------- Mutex ----
+def test_mutex_mutual_exclusion_and_fifo():
+    env = Environment()
+    lock = Mutex(env, name="m")
+    trace = []
+
+    def worker(tag, hold):
+        yield lock.acquire()
+        trace.append(("acq", tag, env.now))
+        yield env.timeout(hold)
+        lock.release()
+        trace.append(("rel", tag, env.now))
+
+    for tag in range(3):
+        env.process(worker(tag, 10.0))
+    env.run()
+    # FIFO service: 0 then 1 then 2, back to back.
+    assert [t for kind, t, _ in trace if kind == "acq"] == [0, 1, 2]
+    assert [now for kind, _, now in trace if kind == "acq"] == [0.0, 10.0, 20.0]
+
+
+def test_mutex_stats():
+    env = Environment()
+    lock = Mutex(env)
+
+    def worker():
+        yield lock.acquire()
+        yield env.timeout(5.0)
+        lock.release()
+
+    env.process(worker())
+    env.process(worker())
+    env.run()
+    assert lock.stats.acquisitions == 2
+    assert lock.stats.contended == 1
+    assert lock.stats.wait_time == pytest.approx(5.0)
+    assert lock.stats.hold_time == pytest.approx(10.0)
+    assert lock.stats.contention_ratio == pytest.approx(0.5)
+
+
+def test_mutex_release_unheld_rejected():
+    env = Environment()
+    lock = Mutex(env)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_mutex_locked_helper():
+    env = Environment()
+    lock = Mutex(env)
+
+    def worker():
+        yield from lock.locked(7.0)
+        return env.now
+
+    p = env.process(worker())
+    assert env.run(until=p) == 7.0
+    assert not lock.held
+
+
+# ------------------------------------------------------------- Semaphore ----
+def test_semaphore_capacity():
+    env = Environment()
+    sem = Semaphore(env, capacity=2)
+    active_peak = [0]
+    active = [0]
+
+    def worker():
+        yield sem.acquire()
+        active[0] += 1
+        active_peak[0] = max(active_peak[0], active[0])
+        yield env.timeout(10.0)
+        active[0] -= 1
+        sem.release()
+
+    for _ in range(5):
+        env.process(worker())
+    env.run()
+    assert active_peak[0] == 2
+    assert env.now == pytest.approx(30.0)  # ceil(5/2) waves of 10
+
+
+# --------------------------------------------------------------- Barrier ----
+def test_barrier_releases_all_at_once():
+    env = Environment()
+    bar = Barrier(env, parties=3)
+    release_times = []
+
+    def worker(delay):
+        yield env.timeout(delay)
+        yield bar.wait()
+        release_times.append(env.now)
+
+    for delay in (1.0, 5.0, 9.0):
+        env.process(worker(delay))
+    env.run()
+    assert release_times == [9.0, 9.0, 9.0]
+
+
+def test_barrier_is_cyclic():
+    env = Environment()
+    bar = Barrier(env, parties=2)
+    gens = []
+
+    def worker():
+        for _ in range(3):
+            gen = yield bar.wait()
+            gens.append(gen)
+
+    env.process(worker())
+    env.process(worker())
+    env.run()
+    assert sorted(gens) == [1, 1, 2, 2, 3, 3]
+    assert bar.generation == 3
+
+
+# ---------------------------------------------------- BandwidthResource ----
+def test_bandwidth_single_transfer_time():
+    env = Environment()
+    link = BandwidthResource(env, capacity=100.0)  # 100 B/us
+
+    def proc():
+        yield link.transfer(1000.0)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(until=p) == pytest.approx(10.0)
+
+
+def test_bandwidth_fair_sharing_two_transfers():
+    env = Environment()
+    link = BandwidthResource(env, capacity=100.0)
+    done = {}
+
+    def proc(tag, nbytes):
+        yield link.transfer(nbytes)
+        done[tag] = env.now
+
+    env.process(proc("a", 1000.0))
+    env.process(proc("b", 1000.0))
+    env.run()
+    # Both share 100 B/us -> 50 each -> 20 us for both.
+    assert done["a"] == pytest.approx(20.0)
+    assert done["b"] == pytest.approx(20.0)
+
+
+def test_bandwidth_released_capacity_speeds_up_survivor():
+    env = Environment()
+    link = BandwidthResource(env, capacity=100.0)
+    done = {}
+
+    def proc(tag, nbytes):
+        yield link.transfer(nbytes)
+        done[tag] = env.now
+
+    env.process(proc("short", 500.0))
+    env.process(proc("long", 1500.0))
+    env.run()
+    # Shared at 50/50 until short finishes at t=10 (500B); long has
+    # 1000B left, now at full 100 B/us -> finishes at t=20.
+    assert done["short"] == pytest.approx(10.0)
+    assert done["long"] == pytest.approx(20.0)
+
+
+def test_bandwidth_max_rate_cap_water_filling():
+    env = Environment()
+    link = BandwidthResource(env, capacity=100.0)
+    done = {}
+
+    def proc(tag, nbytes, cap):
+        yield link.transfer(nbytes, max_rate=cap)
+        done[tag] = env.now
+
+    # Capped transfer takes 10 B/us; uncapped gets the remaining 90.
+    env.process(proc("capped", 100.0, 10.0))
+    env.process(proc("free", 900.0, None))
+    env.run()
+    assert done["capped"] == pytest.approx(10.0)
+    assert done["free"] == pytest.approx(10.0)
+
+
+def test_bandwidth_staggered_join():
+    env = Environment()
+    link = BandwidthResource(env, capacity=100.0)
+    done = {}
+
+    def first():
+        yield link.transfer(1000.0)
+        done["first"] = env.now
+
+    def second():
+        yield env.timeout(5.0)
+        yield link.transfer(250.0)
+        done["second"] = env.now
+
+    env.process(first())
+    env.process(second())
+    env.run()
+    # first runs alone 0-5 (500B), shares 50/50 from t=5.
+    # second needs 250B at 50 -> done at t=10; first then has
+    # 1000-500-250=250B at 100 -> done at t=12.5.
+    assert done["second"] == pytest.approx(10.0)
+    assert done["first"] == pytest.approx(12.5)
+
+
+def test_bandwidth_zero_byte_transfer_completes_immediately():
+    env = Environment()
+    link = BandwidthResource(env, capacity=10.0)
+    ev = link.transfer(0)
+    assert ev.triggered
+
+
+def test_bandwidth_accounts_bytes():
+    env = Environment()
+    link = BandwidthResource(env, capacity=10.0)
+
+    def proc():
+        yield link.transfer(100.0)
+        yield link.transfer(50.0)
+
+    env.process(proc())
+    env.run()
+    assert link.bytes_transferred == pytest.approx(150.0)
+
+
+def test_bandwidth_no_livelock_at_large_clock_values():
+    """Regression: at clock values where a residual transfer's
+    completion delta underflows float64 spacing, the resource must
+    finish the transfer instead of re-firing a wake at a frozen
+    timestamp forever."""
+    env = Environment()
+    env.now = 1.2e8  # ~2 minutes of simulated microseconds
+    link = BandwidthResource(env, capacity=1350.0)
+    done = []
+
+    def proc(nbytes, delay):
+        yield env.timeout(delay)
+        yield link.transfer(nbytes, max_rate=1000.0)
+        done.append(env.now)
+
+    # Staggered joins leave sub-epsilon residues on the in-flight
+    # transfers — exactly the pattern that used to livelock.
+    for i in range(16):
+        env.process(proc(4096.0 * 512, 0.1 * i))
+    env.run()
+    assert len(done) == 16
+    assert link.active_transfers == 0
+    assert link.bytes_transferred == pytest.approx(16 * 4096.0 * 512)
+
+
+def test_bandwidth_utilization():
+    env = Environment()
+    link = BandwidthResource(env, capacity=10.0)
+
+    def proc():
+        yield link.transfer(100.0)  # busy 10 us at full rate
+        yield env.timeout(10.0)  # idle 10 us
+
+    env.process(proc())
+    env.run()
+    assert link.utilization() == pytest.approx(0.5)

@@ -1,0 +1,356 @@
+"""Integration tests for the syscall layer."""
+
+import numpy as np
+import pytest
+
+from conftest import drive
+from repro import Madvise, MemPolicy, PROT_READ, PROT_RW, System
+from repro.errors import Errno, SyscallError
+from repro.util import PAGE_SIZE
+
+
+def _mapped_buffer(t, npages, policy=None):
+    addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW, policy=policy, name="buf")
+    yield from t.touch(addr, npages * PAGE_SIZE)
+    return addr
+
+
+# ------------------------------------------------------------- move_pages ----
+def test_move_pages_moves_and_reports_nodes(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 8)
+        status = yield from t.move_range(addr, 8 * PAGE_SIZE, 2)
+        return status.tolist(), t.process.addr_space.node_histogram().tolist()
+
+    status, hist = drive(system, body, core=0)
+    assert status == [2] * 8
+    assert hist == [0, 0, 8, 0]
+
+
+def test_move_pages_scalar_and_array_nodes_match(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 4)
+        pages = addr + PAGE_SIZE * np.arange(4)
+        s1 = yield from t.move_pages(pages, 1)
+        s2 = yield from t.move_pages(pages, np.asarray([1, 1, 1, 1]))
+        return s1.tolist(), s2.tolist()
+
+    s1, s2 = drive(system, body)
+    assert s1 == s2 == [1, 1, 1, 1]
+
+
+def test_move_pages_mixed_destinations(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 4)
+        pages = addr + PAGE_SIZE * np.arange(4)
+        nodes = np.asarray([0, 1, 2, 3])
+        status = yield from t.move_pages(pages, nodes)
+        vma = t.process.addr_space.find_vma(addr)
+        return status.tolist(), vma.pt.node.tolist()
+
+    status, pagenodes = drive(system, body, core=0)
+    assert status == [0, 1, 2, 3]
+    assert pagenodes == [0, 1, 2, 3]
+
+
+def test_move_pages_statuses_for_bad_pages(system):
+    def body(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW)
+        # touch only the first two pages
+        yield from t.touch(addr, 2 * PAGE_SIZE)
+        pages = np.asarray([addr, addr + PAGE_SIZE, addr + 2 * PAGE_SIZE, 0x100000])
+        status = yield from t.move_pages(pages, 1)
+        return status.tolist()
+
+    status = drive(system, body)
+    assert status[:2] == [1, 1]
+    assert status[2] == -int(Errno.ENOENT)  # no frame yet
+    assert status[3] == -int(Errno.EFAULT)  # unmapped
+
+
+def test_move_pages_invalid_node_rejected(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 1)
+        yield from t.move_pages([addr], 9)
+
+    with pytest.raises(SyscallError) as exc:
+        drive(system, body)
+    assert exc.value.errno == Errno.ENODEV
+
+
+def test_move_pages_unaligned_rejected(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 1)
+        yield from t.move_pages([addr + 5], 1)
+
+    with pytest.raises(SyscallError) as exc:
+        drive(system, body)
+    assert exc.value.errno == Errno.EINVAL
+
+
+def test_move_pages_already_on_node_is_noop(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 4)
+        status = yield from t.move_range(addr, 4 * PAGE_SIZE, 0)
+        return status.tolist(), system.kernel.stats.pages_migrated
+
+    status, migrated = drive(system, body, core=0)
+    assert status == [0] * 4
+    assert migrated == 0
+
+
+def test_move_pages_empty_request(system):
+    def body(t):
+        status = yield from t.move_pages(np.empty(0, dtype=np.int64), 1)
+        return status.size
+
+    assert drive(system, body) == 0
+
+
+def test_move_pages_random_order_pages(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 16)
+        rng = np.random.default_rng(42)
+        pages = addr + PAGE_SIZE * rng.permutation(16)
+        status = yield from t.move_pages(pages, 3)
+        return status.tolist(), t.process.addr_space.node_histogram().tolist()
+
+    status, hist = drive(system, body, core=0)
+    assert status == [3] * 16
+    assert hist == [0, 0, 0, 16]
+
+
+def test_unpatched_move_pages_is_quadratic_in_time(system):
+    """The pre-2.6.29 implementation's simulated time grows ~n² while
+    the patched one stays ~n (Section 3.1)."""
+
+    def run(npages, patched):
+        sys_ = System()
+
+        def body(t):
+            addr = yield from _mapped_buffer(t, npages)
+            t0 = sys_.now
+            yield from t.move_range(addr, npages * PAGE_SIZE, 1, patched=patched)
+            return sys_.now - t0
+
+        return drive(sys_, body, core=0)
+
+    t_small_p, t_big_p = run(64, True), run(1024, True)
+    t_small_u, t_big_u = run(64, False), run(1024, False)
+    assert t_big_p / t_small_p < 20  # ~16x pages -> ~linear growth
+    # The unpatched excess is the per-page scan: it must grow ~(16x)^2.
+    excess_ratio = (t_big_u - t_big_p) / (t_small_u - t_small_p)
+    assert 128 < excess_ratio < 512
+
+
+def test_contents_survive_move_pages(system):
+    def body(t):
+        addr = yield from t.mmap(2 * PAGE_SIZE, PROT_RW)
+        payload = bytes(range(256)) * 8
+        yield from t.write_bytes(addr + 100, payload)
+        yield from t.move_range(addr, 2 * PAGE_SIZE, 3)
+        data = yield from t.read_bytes(addr + 100, len(payload))
+        return bytes(data) == payload
+
+    assert drive(system, body) is True
+
+
+def test_move_pages_on_another_process(system):
+    """The pid argument: an external balancer moves a job's pages."""
+    job = system.create_process("job")
+    shared = {}
+
+    def job_body(t):
+        addr = yield from _mapped_buffer(t, 8)
+        shared["addr"] = addr
+
+    drive(system, job_body, core=0, process=job)
+    balancer = system.create_process("balancer")
+
+    def balance(t):
+        status = yield from t.move_range(shared["addr"], 8 * PAGE_SIZE, 3, target=job)
+        return status.tolist()
+
+    status = drive(system, balance, core=8, process=balancer)
+    assert status == [3] * 8
+    assert job.addr_space.node_histogram().tolist() == [0, 0, 0, 8]
+    assert balancer.addr_space.node_histogram().sum() == 0
+
+
+# ----------------------------------------------------------- migrate_pages ---
+def test_migrate_pages_moves_whole_process(system):
+    def body(t):
+        a = yield from _mapped_buffer(t, 8)
+        b = yield from _mapped_buffer(t, 4)
+        failed = yield from t.migrate_pages([0], [2])
+        return failed, t.process.addr_space.node_histogram().tolist()
+
+    failed, hist = drive(system, body, core=0)
+    assert failed == 0
+    assert hist == [0, 0, 12, 0]
+
+
+def test_migrate_pages_multiple_pairs(system):
+    def body(t):
+        pol = MemPolicy.interleave(0, 1)
+        addr = yield from _mapped_buffer(t, 8, policy=pol)
+        yield from t.migrate_pages([0, 1], [2, 3])
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=0) == [0, 0, 4, 4]
+
+
+def test_migrate_pages_validates_nodes(system):
+    def body(t):
+        yield from t.migrate_pages([0], [7])
+
+    with pytest.raises(SyscallError) as exc:
+        drive(system, body)
+    assert exc.value.errno == Errno.ENODEV
+
+
+def test_migrate_pages_base_cost_higher_than_move_pages(system):
+    """The full-address-space walk costs more up front (Fig. 4)."""
+    cm = system.kernel.cost
+    assert cm.migrate_pages_base_us > cm.move_pages_base_us
+
+
+# ---------------------------------------------------------------- madvise ----
+def test_madvise_nexttouch_counts_pages(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 8)
+        marked = yield from t.madvise(addr, 8 * PAGE_SIZE, Madvise.NEXTTOUCH)
+        return marked
+
+    assert drive(system, body) == 8
+
+
+def test_madvise_nexttouch_rejects_shared(system):
+    def body(t):
+        addr = yield from t.mmap(PAGE_SIZE, PROT_RW, shared=True)
+        yield from t.madvise(addr, PAGE_SIZE, Madvise.NEXTTOUCH)
+
+    with pytest.raises(SyscallError) as exc:
+        drive(system, body)
+    assert exc.value.errno == Errno.EINVAL
+
+
+def test_madvise_nexttouch_unpopulated_pages_untouched(system):
+    def body(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, PROT_RW)
+        marked = yield from t.madvise(addr, 4 * PAGE_SIZE, Madvise.NEXTTOUCH)
+        return marked
+
+    assert drive(system, body) == 0
+
+
+def test_madvise_normal_is_noop(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 2)
+        affected = yield from t.madvise(addr, 2 * PAGE_SIZE, Madvise.NORMAL)
+        return affected
+
+    assert drive(system, body) == 0
+
+
+def test_madvise_dontneed_frees_frames(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 4)
+        used_before = system.kernel.allocators[0].used
+        yield from t.madvise(addr, 4 * PAGE_SIZE, Madvise.DONTNEED)
+        return used_before - system.kernel.allocators[0].used
+
+    assert drive(system, body, core=0) == 4
+
+
+# --------------------------------------------------------------- policies ----
+def test_mbind_affects_future_faults(system):
+    def body(t):
+        addr = yield from t.mmap(8 * PAGE_SIZE, PROT_RW)
+        yield from t.mbind(addr, 8 * PAGE_SIZE, MemPolicy.bind(3))
+        yield from t.touch(addr, 8 * PAGE_SIZE)
+        return t.process.addr_space.node_histogram().tolist()
+
+    assert drive(system, body, core=0) == [0, 0, 0, 8]
+
+
+def test_mbind_move_migrates_nonconforming_pages(system):
+    """MPOL_MF_MOVE: existing pages move to match the new policy."""
+
+    def body(t):
+        addr = yield from _mapped_buffer(t, 8)  # all on node 0
+        moved = yield from t.mbind(addr, 8 * PAGE_SIZE, MemPolicy.bind(2), move=True)
+        return moved, t.process.addr_space.node_histogram().tolist()
+
+    moved, hist = drive(system, body, core=0)
+    assert moved == 8
+    assert hist == [0, 0, 8, 0]
+
+
+def test_mbind_move_interleave_rebalances(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 8)  # all on node 0
+        pol = MemPolicy.interleave(0, 1, 2, 3)
+        moved = yield from t.mbind(addr, 8 * PAGE_SIZE, pol, move=True)
+        return moved, t.process.addr_space.node_histogram().tolist()
+
+    moved, hist = drive(system, body, core=0)
+    assert moved == 6  # pages 0 and 4 already conform
+    assert hist == [2, 2, 2, 2]
+
+
+def test_mbind_without_move_leaves_pages(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 4)
+        moved = yield from t.mbind(addr, 4 * PAGE_SIZE, MemPolicy.bind(3))
+        return moved, t.process.addr_space.node_histogram().tolist()
+
+    moved, hist = drive(system, body, core=0)
+    assert moved == 0
+    assert hist == [4, 0, 0, 0]
+
+
+def test_get_mempolicy_returns_page_node(system):
+    def body(t):
+        addr = yield from _mapped_buffer(t, 2)
+        yield from t.move_range(addr, PAGE_SIZE, 2)
+        first = yield from t.get_mempolicy(addr)
+        second = yield from t.get_mempolicy(addr + PAGE_SIZE)
+        return first, second
+
+    assert drive(system, body, core=0) == (2, 0)
+
+
+def test_get_mempolicy_default(system):
+    def body(t):
+        pol = yield from t.get_mempolicy()
+        return pol
+
+    assert drive(system, body) == MemPolicy.default()
+
+
+def test_tlb_shootdown_scales_with_running_threads(system):
+    """madvise's unmap IPIs every other CPU running the mm."""
+    proc = system.create_process("tlb")
+    shared = {}
+
+    def alloc(t):
+        shared["addr"] = yield from _mapped_buffer(t, 4)
+
+    drive(system, alloc, core=0, process=proc)
+
+    def parked(t):
+        yield t.kernel.env.timeout(500.0)
+
+    def marker(t):
+        yield t.kernel.env.timeout(10.0)
+        before = system.kernel.stats.tlb_ipis
+        yield from t.madvise(shared["addr"], 4 * PAGE_SIZE, Madvise.NEXTTOUCH)
+        shared["ipis"] = system.kernel.stats.tlb_ipis - before
+
+    threads = [
+        system.spawn(proc, core, parked) for core in (4, 8, 12)
+    ]
+    m = system.spawn(proc, 0, marker)
+    system.run()
+    assert shared["ipis"] == 3  # one per other running core

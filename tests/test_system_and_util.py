@@ -1,0 +1,134 @@
+"""Tests for the System facade and the util helpers."""
+
+import pytest
+
+from repro import Placement, System
+from repro.util import (
+    GB,
+    MB,
+    MiB,
+    PAGE_SIZE,
+    bytes_per_us,
+    bytes_to_pages,
+    crossover_index,
+    fmt_bytes,
+    fmt_throughput,
+    geomean,
+    improvement_percent,
+    mb_per_s,
+    pages_to_bytes,
+    render_series,
+    render_table,
+    speedup,
+)
+
+
+# ----------------------------------------------------------------- System ----
+def test_system_defaults_to_paper_machine():
+    system = System()
+    assert system.machine.name == "opteron-8347he-quad"
+    assert system.now == 0.0
+
+
+def test_system_spawn_and_join():
+    system = System()
+    proc = system.create_process("p")
+
+    def body(t):
+        yield t.kernel.env.timeout(3.0)
+        return t.core
+
+    thread = system.spawn(proc, 5, body)
+    assert system.run_to(thread.join()) == 5
+    assert system.now == pytest.approx(3.0)
+
+
+def test_system_join_all():
+    system = System()
+    proc = system.create_process("team")
+
+    def body(rank, t):
+        yield t.kernel.env.timeout(float(rank + 1))
+
+    threads = system.spawn_team(proc, 3, body, Placement.COMPACT)
+    system.join_all(threads)
+    assert system.now == pytest.approx(3.0)
+
+
+def test_independent_systems_do_not_share_state():
+    a, b = System(), System()
+    proc = a.create_process("only-a")
+
+    def body(t):
+        addr = yield from t.mmap(4 * PAGE_SIZE, 3)
+        yield from t.touch(addr, 4 * PAGE_SIZE)
+
+    thread = a.spawn(proc, 0, body)
+    a.run_to(thread.join())
+    assert a.kernel.allocators[0].used == 4
+    assert b.kernel.allocators[0].used == 0
+
+
+# ------------------------------------------------------------------ units ----
+def test_page_conversions():
+    assert pages_to_bytes(3) == 3 * PAGE_SIZE
+    assert bytes_to_pages(1) == 1
+    assert bytes_to_pages(PAGE_SIZE + 1) == 2
+
+
+def test_throughput_math():
+    # 1 MB in 1 second == 1 MB/s
+    assert mb_per_s(MB, 1e6) == pytest.approx(1.0)
+    assert mb_per_s(MB, 0) == float("inf")
+    assert bytes_per_us(1000.0) == pytest.approx(GB / 1e6)
+
+
+def test_fmt_helpers():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(MiB) == "1.0 MiB"
+    assert fmt_throughput(850) == "850 MB/s"
+    assert fmt_throughput(1300) == "1.30 GB/s"
+
+
+# ------------------------------------------------------------------ stats ----
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, -1.0])
+
+
+def test_speedup_and_improvement():
+    assert speedup(10.0, 5.0) == pytest.approx(2.0)
+    assert improvement_percent(87.5, 69.2) == pytest.approx(26.45, abs=0.1)
+    assert improvement_percent(2.6, 4.92) == pytest.approx(-47.2, abs=0.1)
+
+
+def test_crossover_index():
+    xs = [128, 256, 512, 1024]
+    static = [1.0, 2.0, 4.0, 8.0]
+    nexttouch = [1.5, 2.5, 3.5, 5.0]
+    assert crossover_index(xs, static, nexttouch) == 2  # wins from 512
+    assert crossover_index(xs, static, [9, 9, 9, 9]) is None
+    with pytest.raises(ValueError):
+        crossover_index([1], [1, 2], [1])
+
+
+# ----------------------------------------------------------------- tables ----
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 1.0], ["bb", 123456.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "123,456" in lines[3]
+
+
+def test_render_table_width_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["one"], [["a", "b"]])
+
+
+def test_render_series():
+    text = render_series("n", [1, 2], {"s1": [10, 20], "s2": [30, 40]}, title="T")
+    assert text.startswith("T")
+    assert "s1" in text and "40" in text

@@ -1,0 +1,111 @@
+"""Tests for VMA mechanics and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    Errno,
+    OutOfMemory,
+    ReproError,
+    SegmentationFault,
+    SimulationError,
+    SyscallError,
+)
+from repro.kernel.mempolicy import MemPolicy
+from repro.kernel.vma import PROT_NONE, PROT_READ, PROT_RW, PROT_WRITE, Vma
+from repro.util import PAGE_SIZE
+
+
+# -------------------------------------------------------------------- Vma ----
+def test_vma_geometry():
+    vma = Vma(0x10000, 4, PROT_RW, name="x")
+    assert vma.end == 0x10000 + 4 * PAGE_SIZE
+    assert vma.nbytes == 4 * PAGE_SIZE
+    assert vma.contains(0x10000)
+    assert vma.contains(vma.end - 1)
+    assert not vma.contains(vma.end)
+    assert vma.page_index(0x10000 + PAGE_SIZE + 5) == 1
+    assert vma.addr_of_page(2) == 0x10000 + 2 * PAGE_SIZE
+
+
+def test_vma_page_index_out_of_range():
+    vma = Vma(0, 2, PROT_RW)
+    with pytest.raises(SimulationError):
+        vma.page_index(2 * PAGE_SIZE)
+
+
+def test_vma_unaligned_start_rejected():
+    with pytest.raises(SimulationError):
+        Vma(123, 2, PROT_RW)
+
+
+def test_vma_allows_matrix():
+    assert Vma(0, 1, PROT_RW).allows(True)
+    assert Vma(0, 1, PROT_RW).allows(False)
+    assert not Vma(0, 1, PROT_READ).allows(True)
+    assert Vma(0, 1, PROT_READ).allows(False)
+    assert not Vma(0, 1, PROT_NONE).allows(False)
+    assert not Vma(0, 1, PROT_NONE).allows(True)
+
+
+def test_vma_compatibility_rules():
+    a = Vma(0, 2, PROT_RW, name="x")
+    b = Vma(2 * PAGE_SIZE, 2, PROT_RW, name="x")
+    assert a.compatible(b)
+    b.prot = PROT_READ
+    assert not a.compatible(b)
+    b.prot = PROT_RW
+    b.policy = MemPolicy.bind(1)
+    assert not a.compatible(b)
+    b.policy = None
+    b.huge = True
+    assert not a.compatible(b)
+
+
+def test_vma_split_geometry_and_flags():
+    vma = Vma(0x20000, 6, PROT_READ, shared=True, name="s")
+    vma.huge = True
+    left, right = vma.split(2)
+    assert (left.start, left.npages) == (0x20000, 2)
+    assert (right.start, right.npages) == (0x20000 + 2 * PAGE_SIZE, 4)
+    for part in (left, right):
+        assert part.prot == PROT_READ
+        assert part.shared
+        assert part.huge
+        assert part.name == "s"
+
+
+# ----------------------------------------------------------------- errors ----
+def test_error_hierarchy():
+    assert issubclass(SyscallError, ReproError)
+    assert issubclass(SegmentationFault, ReproError)
+    assert issubclass(OutOfMemory, SyscallError)
+    assert issubclass(SimulationError, ReproError)
+    assert issubclass(ConfigurationError, ReproError)
+
+
+def test_syscall_error_carries_errno():
+    err = SyscallError(Errno.EINVAL, "bad thing")
+    assert err.errno == Errno.EINVAL
+    assert "EINVAL" in str(err)
+    assert "bad thing" in str(err)
+
+
+def test_out_of_memory_is_enomem():
+    assert OutOfMemory().errno == Errno.ENOMEM
+
+
+def test_segfault_message_mentions_kind_and_address():
+    err = SegmentationFault(0xDEAD000, write=True, reason="testing")
+    assert "write" in str(err)
+    assert "0xdead000" in str(err)
+    assert "testing" in str(err)
+    err = SegmentationFault(0x1000, write=False)
+    assert "read" in str(err)
+
+
+def test_errno_values_match_linux():
+    assert Errno.ENOENT == 2
+    assert Errno.ENOMEM == 12
+    assert Errno.EFAULT == 14
+    assert Errno.EINVAL == 22
