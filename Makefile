@@ -1,17 +1,38 @@
 # Convenience targets for the repro project.
+#
+# All targets work from a bare checkout: PYTHONPATH gets src/ prepended
+# so an editable install is optional.
 
 PYTHON ?= python
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
 
-.PHONY: test bench bench-full experiments examples loc clean
+.PHONY: test bench bench-update bench-suite bench-full docs-check experiments examples loc clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
 
+# The benchmark-regression gate: measures the fig4/fig5/fig7 hot paths,
+# writes results/BENCH_results.json, and exits non-zero if any metric
+# regresses beyond tolerance against benchmarks/BENCH_baseline.json.
+# See docs/observability.md §5.
 bench:
+	$(PYTHON) -m repro.experiments.cli bench --out results
+
+# Re-baseline after an intentional, reviewed performance change.
+bench-update:
+	$(PYTHON) -m repro.experiments.cli bench --out results --update-baseline
+
+# The full pytest-benchmark suite (paper-shape assertions).
+bench-suite:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Fail if docs reference modules/files/CLI flags that don't exist.
+docs-check:
+	$(PYTHON) tools/docs_check.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.cli all
@@ -20,7 +41,7 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
 
 loc:
-	find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1
+	find src tests benchmarks examples tools -name '*.py' | xargs wc -l | tail -1
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

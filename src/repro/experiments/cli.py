@@ -7,11 +7,20 @@ repro.experiments.cli``)::
     repro-experiments fig7 --full          # the paper's full x-range
     repro-experiments table1 --full        # includes the 16k/32k rows
     repro-experiments all                  # everything, quick settings
+
+Structured artifacts (schemas in ``docs/observability.md``)::
+
+    repro-experiments fig4 --csv out/      # out/fig4.csv
+    repro-experiments fig4 --json out/     # out/fig4.json + manifest + metrics
+    repro-experiments fig4 --trace out/    # out/fig4.trace.json (Perfetto)
+    repro-experiments bench                # regression gate -> BENCH_results.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Callable
@@ -120,16 +129,92 @@ _RUNNERS: dict[str, Callable[[bool], list]] = {
 }
 
 
+def _write_observation(obs, name: str, args, wall_time_s: float) -> None:
+    """Emit the manifest/metrics/trace artifacts for one experiment."""
+    from ..obs import run_manifest, write_chrome_trace
+
+    if not obs.systems:
+        print(f"[{name}: no simulated systems, no run artifacts]", file=sys.stderr)
+        return
+    if args.json is not None:
+        os.makedirs(args.json, exist_ok=True)
+        manifest = run_manifest(
+            obs.systems,
+            experiment=name,
+            tracers=obs.tracers,
+            wall_time_s=wall_time_s,
+            argv=list(sys.argv[1:]),
+        )
+        manifest_path = os.path.join(args.json, f"{name}.manifest.json")
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh, indent=2)
+        metrics_path = os.path.join(args.json, f"{name}.metrics.json")
+        with open(metrics_path, "w") as fh:
+            json.dump(obs.merged_metrics(), fh, indent=2)
+        print(f"[manifest: {manifest_path}]", file=sys.stderr)
+        print(f"[metrics: {metrics_path}]", file=sys.stderr)
+    if args.trace is not None:
+        os.makedirs(args.trace, exist_ok=True)
+        trace_path = write_chrome_trace(
+            os.path.join(args.trace, f"{name}.trace.json"), obs.chrome_trace()
+        )
+        print(f"[trace: {trace_path}]", file=sys.stderr)
+
+
+def _run_bench_gate(args) -> int:
+    """``repro-experiments bench``: measure, write, compare, gate."""
+    from ..obs import bench
+
+    start = time.time()
+    metrics = bench.run_bench()
+    report = bench.bench_report(
+        metrics, args.baseline, args.tolerance, wall_time_s=round(time.time() - start, 3)
+    )
+    os.makedirs(args.out, exist_ok=True)
+    results_path = os.path.join(args.out, bench.RESULTS_FILENAME)
+    with open(results_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+    if report["comparison"] is None:
+        print(f"bench: no baseline at {args.baseline!r} — wrote results only")
+        for name, value in report["metrics"].items():
+            print(f"  {name:<40} {value:>10.1f}")
+    else:
+        for name, verdict in report["comparison"].items():
+            value = "-" if verdict["value"] is None else f"{verdict['value']:10.1f}"
+            base = "-" if verdict["baseline"] is None else f"{verdict['baseline']:10.1f}"
+            delta = f"{verdict['delta_pct']:+7.2f}%" if "delta_pct" in verdict else "        "
+            print(f"  {name:<40} {value} vs {base} {delta}  {verdict['status']}")
+    print(f"[bench results: {results_path}]", file=sys.stderr)
+    if args.update_baseline:
+        baseline_doc = {"schema": bench.SCHEMA, "metrics": report["metrics"]}
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        with open(args.baseline, "w") as fh:
+            json.dump(baseline_doc, fh, indent=2)
+        print(f"[baseline updated: {args.baseline}]", file=sys.stderr)
+        return 0
+    if report["failures"]:
+        print(
+            f"bench: FAIL — {len(report['failures'])} metric(s) regressed beyond "
+            f"{args.tolerance:.1%}: {', '.join(report['failures'])}",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench: OK", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from ..obs import bench as _bench_defaults
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures on the simulated machine.",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_RUNNERS) + ["all"],
-        help="which artifact to regenerate",
+        choices=sorted(_RUNNERS) + ["all", "bench"],
+        help="which artifact to regenerate ('bench' runs the regression gate)",
     )
     parser.add_argument(
         "--full",
@@ -142,17 +227,74 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also save each result as <DIR>/<experiment_id>.csv",
     )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also save <DIR>/<experiment_id>.json per result plus "
+        "<DIR>/<experiment>.manifest.json and .metrics.json per run",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="also save <DIR>/<experiment>.trace.json (Chrome trace-event "
+        "JSON; open in Perfetto or chrome://tracing)",
+    )
+    gate = parser.add_argument_group("bench (regression gate)")
+    gate.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=_bench_defaults.DEFAULT_BASELINE,
+        help="baseline metrics file to compare against "
+        f"(default: {_bench_defaults.DEFAULT_BASELINE})",
+    )
+    gate.add_argument(
+        "--tolerance",
+        type=float,
+        default=_bench_defaults.DEFAULT_TOLERANCE,
+        metavar="FRAC",
+        help="allowed relative drop below baseline before failing "
+        f"(default: {_bench_defaults.DEFAULT_TOLERANCE})",
+    )
+    gate.add_argument(
+        "--out",
+        metavar="DIR",
+        default=".",
+        help=f"directory for {_bench_defaults.RESULTS_FILENAME} (default: .)",
+    )
+    gate.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's metrics and exit 0",
+    )
     args = parser.parse_args(argv)
+    if args.experiment == "bench":
+        return _run_bench_gate(args)
     names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    observing = args.json is not None or args.trace is not None
     for name in names:
         start = time.time()
-        for result in _RUNNERS[name](args.full):
+        if observing:
+            from ..obs import observe
+
+            with observe() as obs:
+                results = _RUNNERS[name](args.full)
+        else:
+            obs, results = None, _RUNNERS[name](args.full)
+        for result in results:
             print(result.render())
             print()
             if args.csv is not None and hasattr(result, "save_csv"):
                 path = result.save_csv(args.csv)
                 print(f"[csv: {path}]", file=sys.stderr)
-        print(f"[{name} regenerated in {time.time() - start:.1f}s wall]", file=sys.stderr)
+            if args.json is not None and hasattr(result, "save_json"):
+                path = result.save_json(args.json)
+                print(f"[json: {path}]", file=sys.stderr)
+        wall = time.time() - start
+        if obs is not None:
+            _write_observation(obs, name, args, wall_time_s=round(wall, 3))
+        print(f"[{name} regenerated in {wall:.1f}s wall]", file=sys.stderr)
     return 0
 
 

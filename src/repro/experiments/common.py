@@ -43,17 +43,66 @@ class ExperimentResult:
             raise KeyError(f"{name!r} not in {sorted(self.series)}")
         return self.series[name]
 
+    def _check_rectangular(self) -> None:
+        """Every series must be as long as ``xs`` (exporters refuse ragged data)."""
+        for name, values in self.series.items():
+            if len(values) != len(self.xs):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} values for {len(self.xs)} xs"
+                )
+
     def to_csv(self) -> str:
         """CSV with the x column first, one column per series."""
         import csv
         import io
 
+        self._check_rectangular()
         buf = io.StringIO()
         writer = csv.writer(buf)
         writer.writerow([self.x_label] + list(self.series))
         for i, x in enumerate(self.xs):
             writer.writerow([x] + [self.series[name][i] for name in self.series])
         return buf.getvalue()
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (schema ``repro.experiment_result/v1``).
+
+        Top-level keys are in fixed schema order; series keys are
+        sorted, so equal results always serialize byte-identically.
+        NumPy scalars are coerced to native Python numbers.
+        """
+        self._check_rectangular()
+
+        def native(v):
+            return v.item() if hasattr(v, "item") else v
+
+        return {
+            "schema": "repro.experiment_result/v1",
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "xs": [native(x) for x in self.xs],
+            "series": {
+                name: [native(v) for v in self.series[name]] for name in sorted(self.series)
+            },
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`to_dict` document as a JSON string."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save_json(self, directory) -> str:
+        """Write ``<experiment_id>.json`` into ``directory``; returns the path."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.experiment_id}.json")
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+        return path
 
     def save_csv(self, directory) -> str:
         """Write ``<experiment_id>.csv`` into ``directory``; returns the path."""

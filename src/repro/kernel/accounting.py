@@ -33,9 +33,18 @@ class Ledger:
         self.counts.clear()
 
     def total(self, *prefixes: str) -> float:
-        """Sum of all tags starting with any of ``prefixes``.
+        """Sum of all tags starting with **any** of ``prefixes``.
 
-        With no prefixes, the grand total.
+        With no prefixes, the grand total. Multi-prefix semantics
+        (pinned by tests, relied on by Figure 6 and the metrics layer):
+
+        * each *tag* is counted **at most once**, even when several
+          prefixes match it (``str.startswith`` on a tuple is a single
+          any-match test, not a per-prefix loop) — so overlapping
+          prefixes like ``("move_pages", "move_pages.copy")`` do not
+          double-count;
+        * an empty-string prefix matches every tag, making
+          ``total("")`` another spelling of the grand total.
         """
         if not prefixes:
             return sum(self.totals.values())

@@ -1,0 +1,38 @@
+"""Structured observability: metrics, manifests, traces, bench gate.
+
+Everything a run produces beyond its ASCII tables lives here:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named
+  counters/gauges/histograms that the kernel, ledger, tracer, lock
+  stats, numastat and the link fabric publish into;
+* :mod:`repro.obs.context` — an ``observe()`` context manager that
+  attaches a :class:`~repro.sim.trace.Tracer` to every
+  :class:`~repro.system.System` created inside it;
+* :mod:`repro.obs.chrometrace` — Chrome/Perfetto trace-event JSON
+  export of tracer samples;
+* :mod:`repro.obs.manifest` — the full-run ``run_manifest`` artifact
+  (machine, cost model, git revision, kernel stats, ledger, locks,
+  link utilisations, merged metrics snapshot);
+* :mod:`repro.obs.bench` — the benchmark-regression gate behind
+  ``repro-experiments bench`` (imported lazily: it pulls in the
+  experiment modules).
+
+Schemas for every artifact are documented in ``docs/observability.md``.
+"""
+
+from .chrometrace import chrome_trace_events, write_chrome_trace
+from .context import Observation, current_observation, observe
+from .manifest import run_manifest
+from .metrics import MetricsRegistry, merge_snapshots, system_metrics
+
+__all__ = [
+    "MetricsRegistry",
+    "system_metrics",
+    "merge_snapshots",
+    "Observation",
+    "observe",
+    "current_observation",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "run_manifest",
+]

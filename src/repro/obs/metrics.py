@@ -1,0 +1,252 @@
+"""A small metrics registry: named counters, gauges and histograms.
+
+The registry is the structured counterpart of :mod:`repro.report` —
+everything those ASCII tables print is also published here, as plain
+numbers under stable dotted names, so CI and plotting scripts can
+consume a run without screen-scraping. :func:`system_metrics` builds a
+registry from a finished :class:`~repro.system.System` by calling the
+per-subsystem publishers; :meth:`MetricsRegistry.snapshot` renders it
+as a JSON-ready dict (schema: ``docs/observability.md``).
+
+Instrument naming convention: ``<subsystem>.<metric>[.<detail>]`` —
+``kernel.pages_migrated``, ``ledger.total_us.move_pages.copy``,
+``link.utilization.0->1``. Names are unique per registry; asking for
+an existing name with a different instrument type is an error.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "system_metrics",
+    "publish_kernel_stats",
+    "publish_numastat",
+    "publish_ledger",
+    "publish_tracer",
+    "publish_locks",
+    "publish_fabric",
+]
+
+
+class Counter:
+    """Monotonically increasing count (events, pages, µs of work)."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def dump(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Point-in-time value (utilization, queue depth, span)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def dump(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "count", "sum", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def dump(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls(name)
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}, not {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump, keys sorted for deterministic output.
+
+        Schema per entry: ``{"type": kind, ...kind-specific fields}``
+        (see ``docs/observability.md`` §3).
+        """
+        return {name: self._instruments[name].dump() for name in sorted(self._instruments)}
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Aggregate per-system snapshots into one run-level snapshot.
+
+    Counters and histogram counts/sums add up, gauges keep their
+    maximum (peak observed), histogram min/max widen. Merging entries
+    of different types under one name is an error.
+    """
+    out: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, entry in snap.items():
+            cur = out.get(name)
+            if cur is None:
+                out[name] = dict(entry)
+                continue
+            if cur["type"] != entry["type"]:
+                raise TypeError(f"metric {name!r}: cannot merge {cur['type']} with {entry['type']}")
+            if entry["type"] == "counter":
+                cur["value"] += entry["value"]
+            elif entry["type"] == "gauge":
+                cur["value"] = max(cur["value"], entry["value"])
+            else:  # histogram
+                cur["count"] += entry["count"]
+                cur["sum"] += entry["sum"]
+                for key, pick in (("min", min), ("max", max)):
+                    a, b = cur[key], entry[key]
+                    cur[key] = b if a is None else (a if b is None else pick(a, b))
+                cur["mean"] = cur["sum"] / cur["count"] if cur["count"] else 0.0
+    return {name: out[name] for name in sorted(out)}
+
+
+# --------------------------------------------------------------- publishers --
+
+def publish_kernel_stats(registry: MetricsRegistry, stats) -> None:
+    """All :class:`~repro.kernel.core.KernelStats` counters."""
+    for field, value in vars(stats).items():
+        registry.counter(f"kernel.{field}").inc(value)
+
+
+def publish_numastat(registry: MetricsRegistry, numastat) -> None:
+    """Per-node ``numastat`` counters (``numa.<row>.node<N>``)."""
+    for row, values in numastat.as_table().items():
+        for node, value in enumerate(values):
+            registry.counter(f"numa.{row}.node{node}").inc(value)
+
+
+def publish_ledger(registry: MetricsRegistry, ledger) -> None:
+    """Charged time and event counts per ledger tag."""
+    for tag, us in ledger.totals.items():
+        registry.counter(f"ledger.total_us.{tag}").inc(us)
+        registry.counter(f"ledger.events.{tag}").inc(ledger.counts[tag])
+    registry.counter("ledger.grand_total_us").inc(ledger.total())
+
+
+def publish_tracer(registry: MetricsRegistry, tracer) -> None:
+    """Tracer health: retained samples, drops, traced span."""
+    registry.gauge("trace.samples").set(len(tracer.samples))
+    registry.counter("trace.dropped").inc(tracer.dropped)
+    lo, hi = tracer.span()
+    registry.gauge("trace.span_us").set(hi - lo)
+    durations = registry.histogram("trace.sample_duration_us")
+    for sample in tracer.samples:
+        durations.observe(sample.duration_us)
+
+
+def publish_locks(registry: MetricsRegistry, system) -> None:
+    """Aggregate lock contention over every kernel/process lock."""
+    from ..report import collect_locks  # local import avoids a cycle
+
+    acq = registry.counter("lock.acquisitions")
+    contended = registry.counter("lock.contended")
+    wait = registry.counter("lock.wait_us")
+    hold = registry.counter("lock.hold_us")
+    queue = registry.histogram("lock.max_queue")
+    for lock in collect_locks(system):
+        stats = lock.stats
+        if not stats.acquisitions:
+            continue
+        acq.inc(stats.acquisitions)
+        contended.inc(stats.contended)
+        wait.inc(stats.wait_time)
+        hold.inc(stats.hold_time)
+        queue.observe(stats.max_queue)
+
+
+def publish_fabric(registry: MetricsRegistry, fabric) -> None:
+    """Mean utilization per directed interconnect link."""
+    for (a, b), util in sorted(fabric.utilizations().items()):
+        registry.gauge(f"link.utilization.{a}->{b}").set(util)
+
+
+def system_metrics(system, tracer=None) -> MetricsRegistry:
+    """One registry with every subsystem of ``system`` published."""
+    registry = MetricsRegistry()
+    kernel = system.kernel
+    publish_kernel_stats(registry, kernel.stats)
+    publish_numastat(registry, kernel.numastat)
+    publish_ledger(registry, kernel.ledger)
+    publish_locks(registry, system)
+    publish_fabric(registry, kernel.fabric)
+    if tracer is not None:
+        publish_tracer(registry, tracer)
+    registry.gauge("sim.time_us").set(system.now)
+    registry.counter("sim.events_processed").inc(system.env.events_processed)
+    return registry

@@ -15,6 +15,7 @@ from .util.units import PAGE_SIZE, fmt_bytes
 
 __all__ = [
     "system_report",
+    "collect_locks",
     "lock_report",
     "memory_report",
     "ledger_report",
@@ -94,15 +95,28 @@ def memory_report(system: System) -> str:
     )
 
 
-def lock_report(system: System, top: int = 8) -> str:
-    """Most-contended kernel locks."""
+def collect_locks(system: System) -> list:
+    """Every instrumented lock in the system, in a stable order.
+
+    Kernel-side locks (per-node LRU, ``migrate_prep``) first, then each
+    process's split page-table locks and ``anon_vma`` rmap locks. Both
+    :func:`lock_report` and the observability layer
+    (:mod:`repro.obs.metrics`, :mod:`repro.obs.manifest`) rank from
+    this one collection, so the ASCII table and the JSON lock table can
+    never disagree about what was surveyed.
+    """
     locks = list(system.kernel.lru_locks) + [system.kernel.migrate_prep_lock]
     for proc in system.kernel.processes:
         locks.extend(proc._ptls.values())
         for vma in proc.addr_space.vmas:
             if vma.anon_vma is not None:
                 locks.append(vma.anon_vma)
-    ranked = sorted(locks, key=lambda l: l.stats.wait_time, reverse=True)[:top]
+    return locks
+
+
+def lock_report(system: System, top: int = 8) -> str:
+    """Most-contended kernel locks."""
+    ranked = sorted(collect_locks(system), key=lambda l: l.stats.wait_time, reverse=True)[:top]
     rows = [
         [
             lock.name or "<anon>",

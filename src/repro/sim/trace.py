@@ -41,8 +41,16 @@ class Tracer:
 
     # ------------------------------------------------------------ recording --
     def record(self, start_us: float, duration_us: float, tag: str) -> None:
-        """Store one sample (oldest evicted beyond capacity)."""
-        if len(self._samples) == self.capacity:
+        """Store one sample (oldest evicted beyond capacity).
+
+        ``dropped`` counts exactly the evictions: it increments iff the
+        deque is full at append time, so after ``k`` records with
+        capacity ``c`` it reads ``max(0, k - c)``. The check compares
+        against the deque's own ``maxlen`` — the authoritative bound —
+        not the ``capacity`` attribute, so rebinding ``capacity`` can
+        not desynchronise the count (pinned by tests).
+        """
+        if len(self._samples) == self._samples.maxlen:
             self.dropped += 1
         self._samples.append(TraceSample(start_us, duration_us, tag))
 
@@ -86,6 +94,17 @@ class Tracer:
         )
 
     # ------------------------------------------------------------ rendering --
+    def to_chrome_trace(self, pid: int = 0, process_name: Optional[str] = None) -> list[dict]:
+        """The retained samples as Chrome trace-event dicts.
+
+        Delegates to :func:`repro.obs.chrometrace.chrome_trace_events`;
+        dump the list with ``json.dump`` and load it in Perfetto or
+        ``chrome://tracing`` (see ``docs/observability.md`` §4).
+        """
+        from ..obs.chrometrace import chrome_trace_events  # deferred: no cycle
+
+        return chrome_trace_events(self._samples, pid=pid, process_name=process_name)
+
     def timeline(self, width: int = 72, groups: Optional[Iterable[str]] = None) -> str:
         """ASCII activity bars per tag group over the traced span."""
         lo, hi = self.span()

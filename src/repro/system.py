@@ -18,6 +18,7 @@ from typing import Callable, Generator, Optional
 from .hardware.topology import Machine
 from .kernel.core import Kernel, SimProcess
 from .kernel.mempolicy import MemPolicy
+from .obs.context import current_observation
 from .sched.scheduler import Placement, Scheduler
 from .sched.thread import SimThread
 from .sim.engine import Environment, Process
@@ -44,6 +45,12 @@ class System:
             debug_checks=debug_checks,
         )
         self.scheduler = Scheduler(self.machine)
+        # Inside an obs.observe() block every system is born traced —
+        # that is how `repro-experiments ... --trace/--json` observes
+        # experiments that build their systems internally.
+        observation = current_observation()
+        if observation is not None:
+            observation.register(self)
 
     # ------------------------------------------------------------ processes --
     def create_process(self, name: str = "", policy: Optional[MemPolicy] = None) -> SimProcess:

@@ -88,6 +88,76 @@ def test_blas1_structure():
     assert len(r.series["improvement %"]) == 1
 
 
+def test_result_csv_round_trip():
+    import csv
+    import io
+
+    r = ExperimentResult("xid", "T", "n", [1, 2, 4], {"a": [3.0, 4.5, 6.0], "b": [5, 6, 7]})
+    rows = list(csv.reader(io.StringIO(r.to_csv())))
+    assert rows[0] == ["n", "a", "b"]
+    xs = [int(row[0]) for row in rows[1:]]
+    a = [float(row[1]) for row in rows[1:]]
+    b = [int(row[2]) for row in rows[1:]]
+    assert (xs, a, b) == (r.xs, r.series["a"], r.series["b"])
+
+
+def test_save_csv_round_trip(tmp_path):
+    import csv
+
+    r = ExperimentResult("figx", "T", "n", [1, 2], {"a": [3.25, 4.5]})
+    path = r.save_csv(tmp_path)
+    rows = list(csv.reader(open(path)))
+    assert [float(row[1]) for row in rows[1:]] == r.series["a"]
+
+
+def test_result_to_json_schema_and_ordering():
+    import json
+
+    r = ExperimentResult(
+        "figx", "Title", "pages", [1, 2], {"zeta": [1.0, 2.0], "alpha": [3.0, 4.0]},
+        notes=["n1"],
+    )
+    doc = json.loads(r.to_json())
+    assert list(doc) == [
+        "schema", "experiment_id", "title", "x_label", "xs", "series", "notes",
+    ]
+    assert doc["schema"] == "repro.experiment_result/v1"
+    assert list(doc["series"]) == ["alpha", "zeta"]  # sorted => deterministic
+    assert doc["xs"] == [1, 2] and doc["notes"] == ["n1"]
+    # Equal results serialize byte-identically regardless of insertion order.
+    swapped = ExperimentResult(
+        "figx", "Title", "pages", [1, 2], {"alpha": [3.0, 4.0], "zeta": [1.0, 2.0]},
+        notes=["n1"],
+    )
+    assert r.to_json() == swapped.to_json()
+
+
+def test_result_to_json_coerces_numpy_scalars():
+    import json
+
+    import numpy as np
+
+    r = ExperimentResult("figx", "T", "n", [np.int64(1)], {"a": [np.float64(2.5)]})
+    doc = json.loads(r.to_json())
+    assert doc["xs"] == [1] and doc["series"]["a"] == [2.5]
+
+
+def test_ragged_series_rejected_by_exporters():
+    r = ExperimentResult("figx", "T", "n", [1, 2], {"a": [3.0]})
+    for method in (r.to_json, r.to_csv, r.to_dict):
+        with pytest.raises(ValueError, match="series 'a' has 1 values for 2 xs"):
+            method()
+
+
+def test_save_json(tmp_path):
+    import json
+
+    r = ExperimentResult("fig99", "T", "n", [1], {"a": [2.5]})
+    path = r.save_json(tmp_path)
+    assert path.endswith("fig99.json")
+    assert json.load(open(path))["series"]["a"] == [2.5]
+
+
 def test_result_to_csv():
     r = ExperimentResult("xid", "T", "n", [1, 2], {"a": [3, 4], "b": [5, 6]})
     csv_text = r.to_csv()
@@ -107,6 +177,31 @@ def test_result_save_csv(tmp_path):
 def test_cli_csv_flag(tmp_path, capsys):
     assert cli_main(["fig5", "--csv", str(tmp_path)]) == 0
     assert (tmp_path / "fig5.csv").exists()
+
+
+def test_cli_json_and_trace_flags(tmp_path):
+    import json
+
+    assert cli_main(["fig5", "--json", str(tmp_path), "--trace", str(tmp_path)]) == 0
+    result = json.load(open(tmp_path / "fig5.json"))
+    assert result["schema"] == "repro.experiment_result/v1"
+    assert set(result["series"]) == set(fig5_nexttouch.SERIES)
+    manifest = json.load(open(tmp_path / "fig5.manifest.json"))
+    assert manifest["schema"] == "repro.run_manifest/v1"
+    assert manifest["experiment"] == "fig5"
+    assert manifest["num_systems"] > 0
+    assert manifest["kernel_stats"]["pages_migrated"] > 0
+    metrics = json.load(open(tmp_path / "fig5.metrics.json"))
+    assert metrics["kernel.pages_migrated"]["value"] > 0
+    trace = json.load(open(tmp_path / "fig5.trace.json"))
+    assert isinstance(trace, list) and trace
+    assert all({"name", "ph", "ts", "dur"} <= set(e) for e in trace)
+    assert any(e["ph"] == "X" for e in trace)
+
+
+def test_cli_without_artifact_flags_writes_nothing(tmp_path, capsys):
+    assert cli_main(["fig5"]) == 0
+    assert list(tmp_path.iterdir()) == []
 
 
 def test_cli_runs_one_experiment(capsys):

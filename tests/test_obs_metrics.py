@@ -1,0 +1,136 @@
+"""MetricsRegistry: instruments, snapshots, merging, system publishing."""
+
+import json
+
+import pytest
+
+from repro import MemPolicy, PROT_RW, System
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    publish_tracer,
+    system_metrics,
+)
+from repro.sim.trace import Tracer
+
+
+def small_run():
+    system = System()
+    proc = system.create_process("obs")
+
+    def body(t):
+        src = yield from t.mmap(1 << 16, PROT_RW, policy=MemPolicy.bind(0))
+        dst = yield from t.mmap(1 << 16, PROT_RW, policy=MemPolicy.bind(1))
+        yield from t.touch(src, 1 << 16)
+        yield from t.touch(dst, 1 << 16)
+        yield from t.memcpy(dst, src, 1 << 16)  # crosses the 0->1 link
+        yield from t.move_range(src, 1 << 16, 1)
+
+    thread = system.spawn(proc, 0, body)
+    system.run_to(thread.join())
+    return system
+
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("c")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    g = reg.gauge("g")
+    g.set(7)
+    g.set(3)
+    assert g.value == 3.0
+    h = reg.histogram("h")
+    for v in (4.0, 1.0, 7.0):
+        h.observe(v)
+    assert (h.count, h.sum, h.min, h.max) == (3, 12.0, 1.0, 7.0)
+    assert h.mean == pytest.approx(4.0)
+
+
+def test_registry_get_or_create_and_type_conflict():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert "x" in reg and len(reg) == 1
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_snapshot_sorted_and_json_ready():
+    reg = MetricsRegistry()
+    reg.gauge("zz").set(1)
+    reg.counter("aa").inc(2)
+    reg.histogram("mm").observe(5)
+    snap = reg.snapshot()
+    assert list(snap) == ["aa", "mm", "zz"]
+    assert snap["aa"] == {"type": "counter", "value": 2.0}
+    assert snap["mm"]["mean"] == 5.0
+    json.dumps(snap)  # must serialize without custom encoders
+
+
+def test_empty_histogram_snapshot():
+    reg = MetricsRegistry()
+    reg.histogram("h")
+    snap = reg.snapshot()["h"]
+    assert snap["count"] == 0 and snap["min"] is None and snap["mean"] == 0.0
+
+
+def test_merge_snapshots_semantics():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c").inc(2)
+    b.counter("c").inc(3)
+    a.gauge("g").set(5)
+    b.gauge("g").set(4)
+    a.histogram("h").observe(1)
+    b.histogram("h").observe(9)
+    b.counter("only_b").inc(1)
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["c"]["value"] == 5.0  # counters add
+    assert merged["g"]["value"] == 5.0  # gauges keep the peak
+    h = merged["h"]
+    assert (h["count"], h["min"], h["max"]) == (2, 1.0, 9.0)
+    assert h["mean"] == pytest.approx(5.0)
+    assert merged["only_b"]["value"] == 1.0
+    assert list(merged) == sorted(merged)
+
+
+def test_merge_snapshots_type_conflict():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("x").inc()
+    b.gauge("x").set(1)
+    with pytest.raises(TypeError):
+        merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+def test_system_metrics_publishes_every_subsystem():
+    system = small_run()
+    snap = system_metrics(system).snapshot()
+    assert snap["kernel.pages_migrated"]["value"] == 16.0  # 64 KiB / 4 KiB
+    assert snap["kernel.pages_first_touched"]["value"] == 32.0  # src + dst
+    assert snap["numa.numa_hit.node0"]["value"] >= 16.0
+    assert snap["ledger.grand_total_us"]["value"] > 0
+    assert any(name.startswith("ledger.total_us.move_pages") for name in snap)
+    assert snap["lock.acquisitions"]["value"] > 0
+    assert snap["link.utilization.0->1"]["value"] > 0
+    assert snap["sim.time_us"]["value"] == system.now
+    assert snap["sim.events_processed"]["value"] > 0
+
+
+def test_system_metrics_is_deterministic():
+    a = json.dumps(system_metrics(small_run()).snapshot())
+    b = json.dumps(system_metrics(small_run()).snapshot())
+    assert a == b
+
+
+def test_publish_tracer_surfaces_drops():
+    tracer = Tracer(capacity=2)
+    for i in range(5):
+        tracer.record(float(i), 1.0, "work")
+    reg = MetricsRegistry()
+    publish_tracer(reg, tracer)
+    snap = reg.snapshot()
+    assert snap["trace.dropped"]["value"] == 3.0
+    assert snap["trace.samples"]["value"] == 2.0
+    assert snap["trace.sample_duration_us"]["count"] == 2

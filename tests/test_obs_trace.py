@@ -1,0 +1,91 @@
+"""Chrome-trace export and the observation context."""
+
+import json
+
+from repro import PROT_RW, System
+from repro.obs import chrome_trace_events, current_observation, observe, write_chrome_trace
+from repro.sim.trace import Tracer
+
+
+def traced_run():
+    with observe() as obs:
+        system = System()
+        proc = system.create_process("t")
+
+        def body(t):
+            addr = yield from t.mmap(1 << 15, PROT_RW)
+            yield from t.touch(addr, 1 << 15)
+            yield from t.move_range(addr, 1 << 15, 1)
+
+        thread = system.spawn(proc, 0, body)
+        system.run_to(thread.join())
+    return obs
+
+
+def test_chrome_trace_event_shape():
+    tracer = Tracer()
+    tracer.record(10.0, 5.0, "move_pages.copy")
+    tracer.record(15.0, 2.0, "nt.control")
+    events = tracer.to_chrome_trace()
+    # Acceptance shape: array of objects with name/ph/ts/dur.
+    assert isinstance(events, list)
+    assert all({"name", "ph", "ts", "dur"} <= set(e) for e in events)
+    complete = [e for e in events if e["ph"] == "X"]
+    assert [e["name"] for e in complete] == ["move_pages.copy", "nt.control"]
+    assert complete[0]["ts"] == 10.0 and complete[0]["dur"] == 5.0
+    assert complete[0]["cat"] == "move_pages"
+    # One tid per top-level tag group, labelled by metadata rows.
+    assert complete[0]["tid"] != complete[1]["tid"]
+    names = [e["args"]["name"] for e in events if e["name"] == "thread_name"]
+    assert names == ["move_pages", "nt"]
+
+
+def test_chrome_trace_process_metadata_and_pid():
+    events = chrome_trace_events(
+        Tracer().samples, pid=3, process_name="system #3"
+    )
+    assert events[0]["ph"] == "M" and events[0]["args"] == {"name": "system #3"}
+    assert events[0]["pid"] == 3
+
+
+def test_write_chrome_trace_round_trip(tmp_path):
+    tracer = Tracer()
+    tracer.record(0.0, 1.0, "a.b")
+    path = write_chrome_trace(tmp_path / "t.trace.json", tracer.to_chrome_trace())
+    loaded = json.loads(open(path).read())
+    assert loaded == tracer.to_chrome_trace()
+
+
+def test_observe_registers_every_system():
+    assert current_observation() is None
+    obs = traced_run()
+    assert current_observation() is None
+    assert len(obs.systems) == 1 and len(obs.tracers) == 1
+    assert obs.tracers[0].samples  # the run was actually traced
+
+
+def test_observation_chrome_trace_merges_pids():
+    with observe() as obs:
+        System()
+        System()
+    obs.tracers[0].record(0.0, 1.0, "x")
+    obs.tracers[1].record(0.0, 1.0, "y")
+    events = obs.chrome_trace()
+    assert {e["pid"] for e in events} == {0, 1}
+
+
+def test_observation_merged_metrics():
+    obs = traced_run()
+    merged = obs.merged_metrics()
+    assert merged["kernel.pages_migrated"]["value"] == 8.0
+    assert merged["trace.samples"]["value"] > 0
+    json.dumps(merged)
+
+
+def test_nested_observation_innermost_wins():
+    with observe() as outer:
+        with observe() as inner:
+            System()
+        assert current_observation() is outer
+    assert len(inner.systems) == 1
+    assert len(outer.systems) == 0

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Docs linter: fail when docs reference code that does not exist.
+
+Scans the user-facing Markdown (``docs/*.md``, ``README.md``,
+``EXPERIMENTS.md``, ``CHANGES.md``) for three kinds of reference and
+verifies each against the tree:
+
+1. dotted names — ``repro.obs.metrics.MetricsRegistry`` must resolve:
+   the longest importable module prefix is imported, remaining
+   components looked up with ``getattr``;
+2. file paths — ``src/repro/obs/bench.py`` (or ``repro/...``) must
+   exist;
+3. CLI usage — on lines mentioning ``repro-experiments``, the
+   experiment name must be a real CLI choice and every ``--flag`` must
+   be accepted by the parser.
+
+Run via ``make docs-check``. Exit status 1 lists every broken
+reference with ``file:line``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [
+    REPO / "README.md",
+    REPO / "EXPERIMENTS.md",
+    REPO / "CHANGES.md",
+]
+
+# A `/vN` suffix marks an artifact schema id (repro.run_manifest/v1),
+# not a module reference — matched so it can be skipped.
+DOTTED_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z_0-9]*)+(/v\d+)?")
+PATH_RE = re.compile(r"\b(?:src/)?repro/[A-Za-z_0-9/]+\.py\b")
+CLI_LINE_RE = re.compile(r"repro-experiments\s+([A-Za-z_0-9-]+)")
+FLAG_RE = re.compile(r"--[a-z][a-z-]*")
+
+
+def cli_vocabulary() -> tuple[set[str], set[str]]:
+    """(experiment choices, accepted flags) from the real CLI module."""
+    from repro.experiments import cli
+
+    choices = set(cli._RUNNERS) | {"all", "bench"}
+    flags = set(FLAG_RE.findall((REPO / "src/repro/experiments/cli.py").read_text()))
+    return choices, flags
+
+
+def check_dotted(ref: str) -> bool:
+    """Import the longest module prefix, getattr the rest."""
+    parts = ref.split(".")
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_path(ref: str) -> bool:
+    rel = ref if ref.startswith("src/") else f"src/{ref}"
+    return (REPO / rel).exists()
+
+
+def main() -> int:
+    choices, flags = cli_vocabulary()
+    errors: list[str] = []
+    for path in DOC_FILES:
+        if not path.exists():
+            errors.append(f"{path.relative_to(REPO)}: listed doc file missing")
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            where = f"{path.relative_to(REPO)}:{lineno}"
+            for match in DOTTED_RE.finditer(line):
+                if match.group(1) is not None:
+                    continue  # schema id, not a module
+                if not check_dotted(match.group(0)):
+                    errors.append(f"{where}: unresolvable name {match.group(0)!r}")
+            for ref in PATH_RE.findall(line):
+                if not check_path(ref):
+                    errors.append(f"{where}: missing file {ref!r}")
+            for match in CLI_LINE_RE.finditer(line):
+                name = match.group(1)
+                # Placeholders like <exp> or figN in prose are fine.
+                if name.isidentifier() and name not in choices:
+                    errors.append(f"{where}: unknown experiment {name!r}")
+            if "repro-experiments" in line:
+                for flag in FLAG_RE.findall(line):
+                    if flag not in flags:
+                        errors.append(f"{where}: unknown flag {flag!r}")
+    if errors:
+        print(f"docs-check: {len(errors)} broken reference(s)", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"docs-check: OK ({len(DOC_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
