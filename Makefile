@@ -7,10 +7,22 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench bench-update bench-suite bench-full docs-check experiments examples loc clean
+.PHONY: test bench bench-update bench-suite bench-full fuzz fuzz-quick docs-check experiments examples loc clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Differential fuzzing: random-but-seeded syscall workloads run against
+# both the kernel and the reference oracle (src/repro/check/), with the
+# invariant checkers on after every op. Failures shrink to replayable
+# JSON reproducers under results/fuzz/. See docs/correctness.md.
+fuzz:
+	$(PYTHON) -m repro.check --runs 600 --ops 50 --selftest --out results/fuzz
+
+# The tier-1-sized variant (~10s): 200 sequences plus the shrinker
+# selftest (injects a fault, asserts it shrinks to a tiny reproducer).
+fuzz-quick:
+	$(PYTHON) -m repro.check --runs 200 --ops 25 --selftest --out results/fuzz
 
 # The benchmark-regression gate: measures the fig4/fig5/fig7 hot paths,
 # writes results/BENCH_results.json, and exits non-zero if any metric

@@ -1,0 +1,11 @@
+"""``python -m repro.check`` — the differential fuzzer CLI.
+
+Thin wrapper so the package can be run directly without the
+runpy re-import warning that ``python -m repro.check.fuzzer``
+would trigger (the package ``__init__`` imports ``fuzzer``).
+"""
+
+from .fuzzer import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,357 @@
+"""Kernel-state invariant checkers.
+
+Each invariant is a named function walking *live* kernel state and
+returning a list of human-readable problem descriptions (empty when the
+state is consistent). The registry :data:`INVARIANTS` maps names to
+checkers; :func:`check_kernel` runs any subset and returns structured
+:class:`Violation` records, and :func:`assert_invariants` raises
+:class:`InvariantViolation` — the form the pytest fixture and the
+``--check`` CLI flag use.
+
+The invariant names are part of the documented contract
+(``docs/correctness.md`` lists them; ``tools/docs_check.py`` verifies
+the two stay in sync):
+
+* ``vma_layout`` — VMA lists sorted, non-overlapping, aligned, index
+  arrays in sync;
+* ``pte_consistency`` — PTE flag algebra (PRESENT needs a frame, WRITE
+  needs PRESENT, NEXTTOUCH excludes PRESENT), the node cache matches
+  the frame's owning node, and no PTE points at a freed frame;
+* ``frame_refcounts`` — every frame's mapping count (page tables plus
+  page caches) equals the kernel's recorded reference count;
+* ``node_accounting`` — per-node allocator ``used`` equals the
+  lifetime alloc/free delta, the allocation bitmap, and the number of
+  distinct frames actually held by mappings;
+* ``cow_write_exclusion`` — no private mapping holds a hardware WRITE
+  bit on a frame that is still shared;
+* ``numastat_balance`` — ``numastat`` rows are non-negative and misses
+  on one node are matched by foreigns on another;
+* ``ledger_consistency`` — ledger totals/counts agree and kernel event
+  counters never go negative;
+* ``swap_consistency`` — swap slots are referenced at most once, never
+  by a populated page, and the device's used-slot count matches the
+  page tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..kernel.core import Kernel, SimProcess
+from ..kernel.frames import node_of_frame
+from ..kernel.pagetable import (
+    PTE_COW,
+    PTE_NEXTTOUCH,
+    PTE_PRESENT,
+    PTE_WRITE,
+)
+from ..kernel.vma import Vma
+
+__all__ = [
+    "Violation",
+    "InvariantViolation",
+    "INVARIANTS",
+    "check_kernel",
+    "check_system",
+    "assert_invariants",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant: which checker and what it saw."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"[{self.invariant}] {self.message}"
+
+
+class InvariantViolation(SimulationError):
+    """Raised by :func:`assert_invariants` when any checker fails."""
+
+    def __init__(self, violations: Sequence[Violation]) -> None:
+        self.violations = list(violations)
+        lines = "\n".join(f"  {v}" for v in self.violations)
+        super().__init__(f"{len(self.violations)} invariant violation(s):\n{lines}")
+
+
+#: name -> checker(kernel) -> list of problem strings
+INVARIANTS: dict[str, Callable[[Kernel], list[str]]] = {}
+
+
+def _invariant(fn: Callable[[Kernel], list[str]]) -> Callable[[Kernel], list[str]]:
+    INVARIANTS[fn.__name__] = fn
+    return fn
+
+
+def _iter_vmas(kernel: Kernel) -> Iterator[tuple[SimProcess, Vma]]:
+    for proc in kernel.processes:
+        for vma in proc.addr_space.vmas:
+            yield proc, vma
+
+
+def _frame_holders(kernel: Kernel) -> Counter[int]:
+    """frame id -> number of references held (mappings + page caches)."""
+    holders: Counter[int] = Counter()
+    for _proc, vma in _iter_vmas(kernel):
+        frames = vma.pt.frame[vma.pt.frame >= 0]
+        for f in frames:
+            holders[int(f)] += 1
+    for file in kernel.files:
+        for f in file.cache.values():
+            holders[int(f)] += 1
+    return holders
+
+
+# ------------------------------------------------------------------ checkers --
+@_invariant
+def vma_layout(kernel: Kernel) -> list[str]:
+    """VMA lists sorted, non-overlapping, aligned and index-synced."""
+    problems: list[str] = []
+    for proc in kernel.processes:
+        space = proc.addr_space
+        vmas = space.vmas
+        for a, b in zip(vmas, vmas[1:]):
+            if a.end > b.start:
+                problems.append(f"{proc.name}: overlapping VMAs {a!r} / {b!r}")
+            if a.start >= b.start:
+                problems.append(f"{proc.name}: VMA list not sorted at {a!r}")
+        if space._starts != [v.start for v in vmas]:
+            problems.append(f"{proc.name}: starts index out of sync with VMA list")
+        for vma in vmas:
+            if vma.start % (1 << 12):
+                problems.append(f"{proc.name}: misaligned VMA start 0x{vma.start:x}")
+            if vma.pt.npages != vma.npages or vma.pt.npages < 1:
+                problems.append(f"{proc.name}: page table size mismatch in {vma!r}")
+            swap = getattr(vma.pt, "_swap_slots", None)
+            if swap is not None and swap.size != vma.pt.npages:
+                problems.append(f"{proc.name}: swap-slot table size mismatch in {vma!r}")
+    return problems
+
+
+@_invariant
+def pte_consistency(kernel: Kernel) -> list[str]:
+    """PTE flag algebra, node cache, and no-freed-frame references."""
+    problems: list[str] = []
+    num_nodes = kernel.machine.num_nodes
+    for proc, vma in _iter_vmas(kernel):
+        pt = vma.pt
+        where = f"{proc.name}:{vma.name or hex(vma.start)}"
+        populated = pt.frame >= 0
+        present = (pt.flags & PTE_PRESENT) != 0
+        write = (pt.flags & PTE_WRITE) != 0
+        nt = (pt.flags & PTE_NEXTTOUCH) != 0
+        if np.any(present & ~populated):
+            problems.append(f"{where}: PRESENT page without a frame")
+        if np.any(write & ~present):
+            problems.append(f"{where}: WRITE bit without PRESENT")
+        if np.any(nt & present):
+            problems.append(f"{where}: NEXTTOUCH page still PRESENT")
+        if np.any(nt & ~populated):
+            problems.append(f"{where}: NEXTTOUCH page without a frame")
+        if np.any(populated & (pt.node < 0)):
+            problems.append(f"{where}: frame attached but node cache unset")
+        if np.any(~populated & (pt.node >= 0)):
+            problems.append(f"{where}: node cache set without a frame")
+        frames = pt.frame[populated]
+        if frames.size:
+            owners = node_of_frame(frames)
+            if np.any(owners != pt.node[populated]):
+                problems.append(f"{where}: node cache disagrees with frame's owning node")
+            if np.any((owners < 0) | (owners >= num_nodes)):
+                problems.append(f"{where}: frame id outside any node's range")
+            else:
+                for node in np.unique(owners):
+                    alloc = kernel.allocators[int(node)]
+                    local = frames[owners == node] - alloc._base
+                    bad = (local < 0) | (local >= alloc.capacity)
+                    if np.any(bad):
+                        problems.append(f"{where}: frame beyond node {node} capacity")
+                        continue
+                    if not np.all(alloc._allocated[local]):
+                        problems.append(f"{where}: PTE points at a freed frame (node {node})")
+        swap = getattr(pt, "_swap_slots", None)
+        if swap is not None and np.any(populated & (swap >= 0)):
+            problems.append(f"{where}: page both populated and on swap")
+    return problems
+
+
+@_invariant
+def frame_refcounts(kernel: Kernel) -> list[str]:
+    """Recorded reference counts equal actual holder counts."""
+    problems: list[str] = []
+    holders = _frame_holders(kernel)
+    for frame, count in holders.items():
+        expected = kernel.frame_refs.get(frame, 1)
+        if expected != count:
+            problems.append(
+                f"frame {frame}: {count} holder(s) but recorded refcount {expected}"
+            )
+    for frame, refs in kernel.frame_refs.items():
+        if refs < 2:
+            problems.append(f"frame {frame}: refcount table entry {refs} below 2")
+        if frame not in holders:
+            problems.append(f"frame {frame}: refcount {refs} recorded but nothing maps it")
+    return problems
+
+
+@_invariant
+def node_accounting(kernel: Kernel) -> list[str]:
+    """Allocator ``used`` == alloc/free delta == bitmap == held frames."""
+    problems: list[str] = []
+    held: list[set[int]] = [set() for _ in kernel.allocators]
+    for frame in _frame_holders(kernel):
+        node = int(node_of_frame(frame))
+        if 0 <= node < len(held):
+            held[node].add(frame)
+    for alloc in kernel.allocators:
+        used = alloc.used
+        delta = alloc.total_allocs - alloc.total_frees
+        bitmap = int(np.count_nonzero(alloc._allocated))
+        if used != delta:
+            problems.append(
+                f"node {alloc.node_id}: used={used} but allocs-frees={delta}"
+            )
+        if used != bitmap:
+            problems.append(
+                f"node {alloc.node_id}: used={used} but allocation bitmap says {bitmap}"
+            )
+        if used != len(held[alloc.node_id]):
+            problems.append(
+                f"node {alloc.node_id}: used={used} but mappings hold "
+                f"{len(held[alloc.node_id])} distinct frame(s)"
+            )
+    return problems
+
+
+@_invariant
+def cow_write_exclusion(kernel: Kernel) -> list[str]:
+    """No private mapping has hardware WRITE on a still-shared frame."""
+    problems: list[str] = []
+    for proc, vma in _iter_vmas(kernel):
+        if vma.shared:
+            continue
+        pt = vma.pt
+        writable = (pt.flags & PTE_WRITE) != 0
+        if not writable.any():
+            continue
+        where = f"{proc.name}:{vma.name or hex(vma.start)}"
+        frames = pt.frame[writable]
+        shared = kernel.frames_shared_mask(frames)
+        if np.any(shared):
+            bad = frames[shared]
+            problems.append(
+                f"{where}: WRITE bit on shared frame(s) {sorted(int(f) for f in bad[:4])}"
+            )
+        cow = (pt.flags & PTE_COW) != 0
+        if np.any(cow & (pt.frame < 0)):
+            problems.append(f"{where}: COW flag on a page without a frame")
+    return problems
+
+
+@_invariant
+def numastat_balance(kernel: Kernel) -> list[str]:
+    """``numastat`` rows non-negative; misses balance foreigns."""
+    problems: list[str] = []
+    stat = kernel.numastat
+    for row, values in stat.as_table().items():
+        if any(v < 0 for v in values):
+            problems.append(f"numastat row {row} went negative: {values}")
+    if sum(stat.numa_miss) != sum(stat.numa_foreign):
+        problems.append(
+            f"sum(numa_miss)={sum(stat.numa_miss)} != "
+            f"sum(numa_foreign)={sum(stat.numa_foreign)}"
+        )
+    for node, (il, hit) in enumerate(zip(stat.interleave_hit, stat.numa_hit)):
+        if il > hit:
+            problems.append(f"node {node}: interleave_hit {il} exceeds numa_hit {hit}")
+    return problems
+
+
+@_invariant
+def ledger_consistency(kernel: Kernel) -> list[str]:
+    """Ledger totals/counts agree; kernel counters stay non-negative."""
+    problems: list[str] = []
+    ledger = kernel.ledger
+    if set(ledger.totals) != set(ledger.counts):
+        extra = set(ledger.totals) ^ set(ledger.counts)
+        problems.append(f"ledger totals/counts keys diverge: {sorted(extra)}")
+    for tag, total in ledger.totals.items():
+        if total < -1e-9:
+            problems.append(f"ledger tag {tag!r} total went negative: {total}")
+        if ledger.counts.get(tag, 0) < 1:
+            problems.append(f"ledger tag {tag!r} has a total but no events")
+    for field, value in vars(kernel.stats).items():
+        if value < 0:
+            problems.append(f"kernel stat {field} went negative: {value}")
+    return problems
+
+
+@_invariant
+def swap_consistency(kernel: Kernel) -> list[str]:
+    """Swap slots unique, only on frame-less pages, device count right."""
+    problems: list[str] = []
+    device = getattr(kernel, "swap", None)
+    referenced: Counter[int] = Counter()
+    for proc, vma in _iter_vmas(kernel):
+        table = getattr(vma.pt, "_swap_slots", None)
+        if table is None:
+            continue
+        slots = table[table >= 0]
+        for s in slots:
+            referenced[int(s)] += 1
+    for slot, count in referenced.items():
+        if count > 1:
+            problems.append(f"swap slot {slot} referenced by {count} pages")
+    if device is None:
+        if referenced:
+            problems.append(f"{len(referenced)} swap slot(s) referenced but no device attached")
+        return problems
+    free = set(device._free)
+    for slot in referenced:
+        if slot >= device._bump or slot in free:
+            problems.append(f"swap slot {slot} referenced but not allocated")
+    if device.used != len(referenced):
+        problems.append(
+            f"swap device holds {device.used} slot(s) but page tables "
+            f"reference {len(referenced)} (leaked or phantom slots)"
+        )
+    return problems
+
+
+# ------------------------------------------------------------------ drivers --
+def check_kernel(
+    kernel: Kernel, names: Optional[Iterable[str]] = None
+) -> list[Violation]:
+    """Run invariant checkers over a kernel; returns all violations.
+
+    ``names`` selects a subset (default: every registered invariant).
+    Unknown names raise ``KeyError`` — a misspelled checker silently
+    passing is exactly the failure mode this layer exists to prevent.
+    """
+    selected = list(INVARIANTS) if names is None else list(names)
+    violations: list[Violation] = []
+    for name in selected:
+        checker = INVARIANTS[name]
+        for message in checker(kernel):
+            violations.append(Violation(name, message))
+    return violations
+
+
+def check_system(system, names: Optional[Iterable[str]] = None) -> list[Violation]:
+    """:func:`check_kernel` for a :class:`~repro.system.System`."""
+    return check_kernel(system.kernel, names)
+
+
+def assert_invariants(kernel: Kernel, names: Optional[Iterable[str]] = None) -> None:
+    """Raise :class:`InvariantViolation` if any checker fails."""
+    violations = check_kernel(kernel, names)
+    if violations:
+        raise InvariantViolation(violations)

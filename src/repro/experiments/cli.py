@@ -129,7 +129,34 @@ _RUNNERS: dict[str, Callable[[bool], list]] = {
 }
 
 
-def _write_observation(obs, name: str, args, wall_time_s: float) -> None:
+def _check_observation(obs, name: str) -> dict:
+    """Run the kernel invariant checkers over every observed system.
+
+    Returns a manifest-ready summary (``docs/correctness.md``); any
+    violations are also printed to stderr.
+    """
+    from ..check import check_system
+    from ..check.invariants import INVARIANTS
+
+    violations = []
+    for i, system in enumerate(obs.systems):
+        for v in check_system(system):
+            violations.append({"system": i, "invariant": v.invariant, "message": v.message})
+            print(f"[{name}: invariant {v.invariant} FAILED: {v.message}]", file=sys.stderr)
+    summary = {
+        "checked": sorted(INVARIANTS),
+        "systems": len(obs.systems),
+        "violations": violations,
+    }
+    status = "OK" if not violations else f"{len(violations)} violation(s)"
+    print(
+        f"[{name}: invariants {status} over {len(obs.systems)} system(s)]",
+        file=sys.stderr,
+    )
+    return summary
+
+
+def _write_observation(obs, name: str, args, wall_time_s: float, invariants=None) -> None:
     """Emit the manifest/metrics/trace artifacts for one experiment."""
     from ..obs import run_manifest, write_chrome_trace
 
@@ -144,13 +171,20 @@ def _write_observation(obs, name: str, args, wall_time_s: float) -> None:
             tracers=obs.tracers,
             wall_time_s=wall_time_s,
             argv=list(sys.argv[1:]),
+            extra={"invariants": invariants} if invariants is not None else None,
         )
         manifest_path = os.path.join(args.json, f"{name}.manifest.json")
         with open(manifest_path, "w") as fh:
             json.dump(manifest, fh, indent=2)
+        metrics = obs.merged_metrics()
+        if invariants is not None:
+            metrics["check.invariant_violations"] = {
+                "type": "counter",
+                "value": float(len(invariants["violations"])),
+            }
         metrics_path = os.path.join(args.json, f"{name}.metrics.json")
         with open(metrics_path, "w") as fh:
-            json.dump(obs.merged_metrics(), fh, indent=2)
+            json.dump(metrics, fh, indent=2)
         print(f"[manifest: {manifest_path}]", file=sys.stderr)
         print(f"[metrics: {metrics_path}]", file=sys.stderr)
     if args.trace is not None:
@@ -241,6 +275,13 @@ def main(argv: list[str] | None = None) -> int:
         help="also save <DIR>/<experiment>.trace.json (Chrome trace-event "
         "JSON; open in Perfetto or chrome://tracing)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the kernel invariant checkers over every simulated "
+        "system after the run (see docs/correctness.md); exits non-zero "
+        "on violations",
+    )
     gate = parser.add_argument_group("bench (regression gate)")
     gate.add_argument(
         "--baseline",
@@ -272,7 +313,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "bench":
         return _run_bench_gate(args)
     names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
-    observing = args.json is not None or args.trace is not None
+    observing = args.json is not None or args.trace is not None or args.check
+    broken = 0
     for name in names:
         start = time.time()
         if observing:
@@ -292,10 +334,14 @@ def main(argv: list[str] | None = None) -> int:
                 path = result.save_json(args.json)
                 print(f"[json: {path}]", file=sys.stderr)
         wall = time.time() - start
+        invariants = None
+        if args.check and obs is not None:
+            invariants = _check_observation(obs, name)
+            broken += len(invariants["violations"])
         if obs is not None:
-            _write_observation(obs, name, args, wall_time_s=round(wall, 3))
+            _write_observation(obs, name, args, wall_time_s=round(wall, 3), invariants=invariants)
         print(f"[{name} regenerated in {wall:.1f}s wall]", file=sys.stderr)
-    return 0
+    return 1 if broken else 0
 
 
 if __name__ == "__main__":

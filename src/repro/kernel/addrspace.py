@@ -116,11 +116,32 @@ class AddressSpace:
         for vma in affected:
             frames, _nodes = vma.pt.unmap_pages(slice(None))
             self.kernel.release_frames(frames)
+            self.release_swap_slots(vma)
             freed += frames.size
             i = self._index_of(vma)
             del self._vmas[i]
             del self._starts[i]
         return freed
+
+    def release_swap_slots(self, vma: Vma) -> int:
+        """Return a dying VMA's swap slots to the device.
+
+        Unmapping a range whose pages sit on swap must free their slots
+        (as ``free_swap_and_cache`` does in the ``zap_pte_range`` walk);
+        leaking them fills the device until swap-outs fail with ENOMEM.
+        Returns slots released.
+        """
+        table = getattr(vma.pt, "_swap_slots", None)
+        if table is None:
+            return 0
+        slots = table[table >= 0]
+        if slots.size == 0:
+            return 0
+        device = getattr(self.kernel, "swap", None)
+        if device is not None:
+            device.free_slots(slots)
+        table[table >= 0] = -1
+        return int(slots.size)
 
     # ------------------------------------------------------ range surgery ---
     def _index_of(self, vma: Vma) -> int:

@@ -125,6 +125,10 @@ class Kernel:
         #: frame id -> reference count, kept ONLY for frames shared by
         #: more than one mapping (fork/COW); absent means refcount 1.
         self.frame_refs: dict[int, int] = {}
+        #: every :class:`~repro.kernel.files.SimFile` created against
+        #: this kernel (their page caches hold frame references that the
+        #: invariant checkers must account for).
+        self.files: list = []
         self._next_pid = 1
         self.processes: list[SimProcess] = []
 
@@ -150,6 +154,7 @@ class Kernel:
         for vma in process.addr_space.vmas:
             frames, _nodes = vma.pt.unmap_pages(slice(None))
             self.release_frames(frames)
+            process.addr_space.release_swap_slots(vma)
             released += int(frames.size)
         process.addr_space._vmas.clear()
         process.addr_space._starts.clear()
@@ -237,6 +242,17 @@ class Kernel:
     def frame_shared(self, frame: int) -> bool:
         """Whether more than one mapping references ``frame``."""
         return self.frame_refs.get(int(frame), 1) > 1
+
+    def frames_shared_mask(self, frames: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`frame_shared` over an array of frame ids."""
+        frames = np.asarray(frames, dtype=np.int64)
+        if not self.frame_refs:
+            return np.zeros(frames.shape, dtype=bool)
+        return np.fromiter(
+            (self.frame_refs.get(int(f), 1) > 1 for f in frames),
+            dtype=bool,
+            count=frames.size,
+        ).reshape(frames.shape)
 
     def move_contents(self, old_frames: np.ndarray, new_frames: np.ndarray) -> None:
         """Carry page payloads across a migration (contents mode only).

@@ -256,9 +256,12 @@ def nt_fault_batch(
     stay_idxs = idxs[~moving]
     move_idxs = idxs[moving]
     # Pages already local: clear the flag and revalidate — no copy,
-    # no useless migration (Section 3.4).
+    # no useless migration (Section 3.4). Frames still shared (fork/
+    # COW siblings) come back write-protected COW: the revalidation
+    # must not skip the unsharing the first write owes.
     if stay_idxs.size:
-        vma.pt.clear_next_touch(stay_idxs, vma.allows(True))
+        shared = kernel.frames_shared_mask(vma.pt.frame[stay_idxs])
+        vma.pt.clear_next_touch(stay_idxs, vma.allows(True), cow=shared)
     move_srcs = src_nodes[moving]
     old_frames = vma.pt.frame[move_idxs].copy()
     if move_idxs.size:

@@ -67,6 +67,7 @@ class SimFile:
         self.data: dict[int, np.ndarray] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        kernel.files.append(self)
 
     # ----------------------------------------------------------- contents ----
     def write_initial(self, offset: int, payload: bytes) -> None:

@@ -69,12 +69,16 @@ def sys_fork(kernel: Kernel, thread: "SimThread"):
             populated = vma.pt.frame >= 0
             if populated.any():
                 kernel.ref_frames(vma.pt.frame[populated])
-                if not vma.shared and vma.allows(True):
-                    # Revoke write on both sides; first write copies.
-                    writable = populated & ((vma.pt.flags & PTE_WRITE) != 0)
+                if not vma.shared:
+                    # Every populated private page shares its frame with
+                    # the child now, so every one of them is COW — the
+                    # read-only and next-touch-marked ones included (a
+                    # later mprotect/revalidation must not hand out
+                    # WRITE on the shared frame). Revoke write on both
+                    # sides; the first write copies.
                     for table in (vma.pt, clone.pt):
-                        table.flags[writable] &= np.uint16(~PTE_WRITE & 0xFFFF)
-                        table.flags[writable] |= np.uint16(PTE_COW)
+                        table.flags[populated] &= np.uint16(~PTE_WRITE & 0xFFFF)
+                        table.flags[populated] |= np.uint16(PTE_COW)
             copied_ptes += vma.npages
             child.addr_space._insert(clone)
         child.addr_space._next_addr = parent.addr_space._next_addr

@@ -148,12 +148,24 @@ class PageTable:
         self.flags[idx] = np.where(target, (sub & hw_mask) | PTE_NEXTTOUCH, sub)
         return int(np.count_nonzero(target))
 
-    def clear_next_touch(self, idx, writable: bool) -> None:
-        """Drop the NEXTTOUCH flag and restore valid bits."""
+    def clear_next_touch(self, idx, writable: bool, cow=None) -> None:
+        """Drop the NEXTTOUCH flag and restore valid bits.
+
+        ``cow`` is an optional boolean mask (aligned with ``idx``):
+        pages whose frame is still shared with another mapping must
+        come back PRESENT but write-protected with the COW flag, so the
+        first write still unshares them — revalidating a next-touch
+        page must never hand out WRITE on a shared frame.
+        """
         sub = self.flags[idx]
-        flags = PTE_PRESENT | PTE_ACCESSED | (PTE_WRITE | PTE_DIRTY if writable else 0)
+        full = PTE_PRESENT | PTE_ACCESSED | (PTE_WRITE | PTE_DIRTY if writable else 0)
         populated = self.frame[idx] >= 0
-        self.flags[idx] = np.where(populated, np.uint16(flags), sub & np.uint16(~PTE_NEXTTOUCH & 0xFFFF))
+        restored = np.full(sub.shape, np.uint16(full))
+        if cow is not None:
+            restored = np.where(
+                cow, np.uint16(PTE_PRESENT | PTE_ACCESSED | PTE_COW), restored
+            )
+        self.flags[idx] = np.where(populated, restored, sub & np.uint16(~PTE_NEXTTOUCH & 0xFFFF))
 
     # ------------------------------------------------------------ split ----
     def split(self, at: int) -> tuple["PageTable", "PageTable"]:

@@ -17,6 +17,20 @@ def fast_system():
     return System()
 
 
+@pytest.fixture
+def checked_system():
+    """A system whose kernel invariants are asserted at teardown.
+
+    Use instead of ``system`` when a test should fail if it leaves the
+    kernel in an inconsistent state, even though every individual
+    operation succeeded (see docs/correctness.md)."""
+    from repro.check import assert_invariants
+
+    sys_ = System(track_contents=True, debug_checks=True)
+    yield sys_
+    assert_invariants(sys_.kernel)
+
+
 def drive(sys_, body, core=0, process=None, name="test"):
     """Run a single thread body to completion; returns its value."""
     proc = process or sys_.create_process(name)

@@ -1,0 +1,147 @@
+"""Each invariant checker fires on a deliberately broken kernel state
+and stays quiet on a healthy one."""
+
+import numpy as np
+import pytest
+
+from conftest import drive
+from repro.check import (
+    INVARIANTS,
+    InvariantViolation,
+    assert_invariants,
+    check_kernel,
+    check_system,
+)
+from repro.kernel.pagetable import PTE_PRESENT, PTE_WRITE
+from repro.kernel.vma import PROT_RW
+from repro.util.units import PAGE_SIZE
+
+
+def populated_system(system):
+    """A system with a touched mapping (frames, stats, ledger activity)."""
+
+    def body(t):
+        addr = yield from t.mmap(8 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 8 * PAGE_SIZE, write=True, bytes_per_page=0.0)
+        return addr
+
+    addr = drive(system, body)
+    return system, addr
+
+
+def fired(kernel, name):
+    """Violations from one named checker."""
+    return [v for v in check_kernel(kernel, [name])]
+
+
+def test_clean_system_passes_every_invariant(system):
+    populated_system(system)
+    assert check_system(system) == []
+    assert_invariants(system.kernel)  # must not raise
+
+
+def test_vma_layout_detects_desynced_index(system):
+    _, _ = populated_system(system)
+    space = system.kernel.processes[0].addr_space
+    space._starts[0] -= PAGE_SIZE
+    assert fired(system.kernel, "vma_layout")
+
+
+def test_pte_consistency_detects_present_without_frame(system):
+    populated_system(system)
+    proc = system.kernel.processes[0]
+
+    def body(t):
+        return (yield from t.mmap(4 * PAGE_SIZE, PROT_RW))
+
+    drive(system, body, process=proc)
+    vma = proc.addr_space.vmas[-1]  # untouched mapping: no frames
+    vma.pt.flags[0] |= np.uint16(PTE_PRESENT)
+    assert fired(system.kernel, "pte_consistency")
+
+
+def test_pte_consistency_detects_stale_node_cache(system):
+    populated_system(system)
+    vma = system.kernel.processes[0].addr_space.vmas[0]
+    vma.pt.node[0] = (int(vma.pt.node[0]) + 1) % system.kernel.machine.num_nodes
+    assert fired(system.kernel, "pte_consistency")
+
+
+def test_frame_refcounts_detects_leaked_reference(system):
+    populated_system(system)
+    vma = system.kernel.processes[0].addr_space.vmas[0]
+    frame = int(vma.pt.frame[0])
+    system.kernel.frame_refs[frame] = system.kernel.frame_refs.get(frame, 1) + 1
+    assert fired(system.kernel, "frame_refcounts")
+
+
+def test_node_accounting_detects_unmapped_allocation(system):
+    populated_system(system)
+    system.kernel.alloc_on(0, 1)  # allocated but never mapped anywhere
+    assert fired(system.kernel, "node_accounting")
+
+
+def test_cow_write_exclusion_detects_write_on_shared_frame(system):
+    populated_system(system)
+    parent = system.kernel.processes[0]
+
+    def body(t):
+        return (yield from t.fork())
+
+    drive(system, body, process=parent)
+    vma = parent.addr_space.vmas[0]
+    vma.pt.flags[0] |= np.uint16(PTE_WRITE)  # scribble on a shared frame
+    assert fired(system.kernel, "cow_write_exclusion")
+
+
+def test_numastat_balance_detects_unbalanced_miss(system):
+    populated_system(system)
+    system.kernel.numastat.numa_miss[0] += 1  # miss with no matching foreign
+    assert fired(system.kernel, "numastat_balance")
+
+
+def test_ledger_consistency_detects_phantom_total(system):
+    populated_system(system)
+    system.kernel.ledger.totals["phantom.tag"] = 1.0  # total without events
+    assert fired(system.kernel, "ledger_consistency")
+
+
+def test_swap_consistency_detects_leaked_slot(system):
+    populated_system(system)
+    vma = system.kernel.processes[0].addr_space.vmas[0]
+    table = np.full(vma.pt.npages, -1, dtype=np.int64)
+    table[1] = 7  # references a slot no device ever allocated
+    vma.pt.frame[1] = -1
+    vma.pt.node[1] = -1
+    vma.pt.flags[1] = 0
+    vma.pt._swap_slots = table
+    assert fired(system.kernel, "swap_consistency")
+
+
+def test_every_registered_invariant_has_a_breaker():
+    """The list above must cover the whole registry — adding an
+    invariant without a deliberately-broken-state test fails here."""
+    covered = {
+        "vma_layout",
+        "pte_consistency",
+        "frame_refcounts",
+        "node_accounting",
+        "cow_write_exclusion",
+        "numastat_balance",
+        "ledger_consistency",
+        "swap_consistency",
+    }
+    assert covered == set(INVARIANTS)
+
+
+def test_unknown_invariant_name_raises(system):
+    with pytest.raises(KeyError):
+        check_kernel(system.kernel, ["no_such_invariant"])
+
+
+def test_assert_invariants_raises_with_structured_violations(system):
+    populated_system(system)
+    system.kernel.numastat.numa_miss[0] += 1
+    with pytest.raises(InvariantViolation) as exc:
+        assert_invariants(system.kernel)
+    assert any(v.invariant == "numastat_balance" for v in exc.value.violations)

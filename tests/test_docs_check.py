@@ -38,7 +38,20 @@ def test_check_path(docs_check):
 def test_cli_vocabulary_contains_new_surface(docs_check):
     choices, flags = docs_check.cli_vocabulary()
     assert {"fig4", "all", "bench"} <= choices
-    assert {"--csv", "--json", "--trace", "--tolerance", "--update-baseline"} <= flags
+    assert {"--csv", "--json", "--trace", "--tolerance", "--update-baseline",
+            "--check"} <= flags
+
+
+def test_invariant_contract_in_sync(docs_check):
+    assert docs_check.check_invariant_contract() == []
+
+
+def test_invariant_contract_detects_drift(docs_check, monkeypatch):
+    from repro.check import invariants
+
+    monkeypatch.setitem(invariants.INVARIANTS, "ghost_checker", lambda k: [])
+    errors = docs_check.check_invariant_contract()
+    assert any("ghost_checker" in e for e in errors)
 
 
 def test_repo_docs_are_clean(docs_check):

@@ -204,6 +204,27 @@ def test_cli_without_artifact_flags_writes_nothing(tmp_path, capsys):
     assert list(tmp_path.iterdir()) == []
 
 
+def test_cli_check_flag(tmp_path, capsys):
+    import json
+
+    from repro.check import INVARIANTS
+
+    assert cli_main(["fig5", "--check", "--json", str(tmp_path)]) == 0
+    err = capsys.readouterr().err
+    assert "invariants OK" in err
+    manifest = json.load(open(tmp_path / "fig5.manifest.json"))
+    assert manifest["invariants"]["checked"] == sorted(INVARIANTS)
+    assert manifest["invariants"]["violations"] == []
+    assert manifest["invariants"]["systems"] > 0
+    metrics = json.load(open(tmp_path / "fig5.metrics.json"))
+    assert metrics["check.invariant_violations"]["value"] == 0
+
+
+def test_cli_check_flag_alone_runs_checkers(capsys):
+    assert cli_main(["fig4", "--check"]) == 0
+    assert "invariants OK" in capsys.readouterr().err
+
+
 def test_cli_runs_one_experiment(capsys):
     assert cli_main(["fig5"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,38 @@
+"""Every reproducer in tests/reproducers/ replays clean.
+
+Each file was minimized from a real fuzzer-caught kernel bug; the fix
+landed with the file. Replaying returns the failure it reproduces, so a
+regression flips the result from None back to a Failure — these are
+pinned regression tests in data form (see docs/correctness.md)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import load_reproducer, replay_reproducer
+from repro.check.fuzzer import MAX_REPRO_OPS, REPRODUCER_SCHEMA
+
+REPRO_DIR = Path(__file__).parent / "reproducers"
+REPRO_FILES = sorted(REPRO_DIR.glob("*.json"))
+
+
+def test_reproducer_corpus_is_nonempty():
+    assert len(REPRO_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", REPRO_FILES, ids=lambda p: p.stem)
+def test_reproducer_is_wellformed(path):
+    doc = load_reproducer(path)
+    assert doc["schema"] == REPRODUCER_SCHEMA
+    assert doc["inject"] is None  # corpus files caught *real* bugs
+    assert 1 <= len(doc["ops"]) <= MAX_REPRO_OPS
+    assert {"kind", "step", "op"} <= set(doc["failure"])
+
+
+@pytest.mark.parametrize("path", REPRO_FILES, ids=lambda p: p.stem)
+def test_reproducer_replays_clean(path):
+    failure = replay_reproducer(path)
+    assert failure is None, (
+        f"{path.name} reproduces again: {failure.kind}:{failure.name} "
+        f"at step {failure.step} — a fixed bug has regressed. {failure.detail}"
+    )

@@ -1,0 +1,48 @@
+"""Seed-stability: the named RNG streams behind every stochastic choice
+must stay bit-identical across calls, independent across names, and
+pinned across releases (reproducer files and fuzz seeds depend on it)."""
+
+import numpy as np
+
+from repro.sim.rng import DEFAULT_SEED, make_rng
+
+
+def test_same_arguments_same_stream():
+    a = make_rng(42, "stream", 7).integers(0, 1 << 30, 64)
+    b = make_rng(42, "stream", 7).integers(0, 1 << 30, 64)
+    assert np.array_equal(a, b)
+
+
+def test_different_streams_are_independent():
+    a = make_rng(42, "alpha").integers(0, 1 << 30, 64)
+    b = make_rng(42, "beta").integers(0, 1 << 30, 64)
+    c = make_rng(43, "alpha").integers(0, 1 << 30, 64)
+    assert not np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_default_seed_is_pinned():
+    assert DEFAULT_SEED == 0x5EED_CAFE
+
+
+def test_known_stream_values_are_pinned():
+    """Golden values: a change to the stream-derivation scheme silently
+    invalidates every saved reproducer and fuzz-seed report. If this
+    test fails you changed repro.sim.rng.make_rng semantics — bump the
+    reproducer schema and regenerate tests/reproducers/."""
+    fuzz = make_rng(DEFAULT_SEED, "check.fuzz").integers(0, 1_000_000, 5)
+    assert list(fuzz) == [804700, 890094, 386499, 154655, 6377]
+    fig7 = make_rng(DEFAULT_SEED, "fig7", 3).integers(0, 1_000_000, 5)
+    assert list(fig7) == [6764, 523445, 885459, 351198, 315732]
+    other = make_rng(123, "a").integers(0, 1_000_000, 5)
+    assert list(other) == [279734, 674930, 361776, 894599, 983844]
+
+
+def test_fuzzer_workloads_are_stable():
+    """The first generated op of the default fuzz stream, frozen: the
+    cheapest possible canary that generate_ops output never drifts."""
+    from repro.check import generate_ops
+
+    ops = generate_ops(DEFAULT_SEED, 5)
+    assert ops == generate_ops(DEFAULT_SEED, 5)
+    assert [op["kind"] for op in ops] == ["fork", "mmap", "mmap", "swap_out", "touch"]

@@ -14,6 +14,11 @@ verifies each against the tree:
    experiment name must be a real CLI choice and every ``--flag`` must
    be accepted by the parser.
 
+It additionally holds ``docs/correctness.md`` to its contract: the
+invariant table there must list exactly the checkers registered in
+``repro.check.invariants.INVARIANTS`` — a checker documented but never
+implemented fails, and so does one implemented but never documented.
+
 Run via ``make docs-check``. Exit status 1 lists every broken
 reference with ``file:line``.
 """
@@ -73,9 +78,39 @@ def check_path(ref: str) -> bool:
     return (REPO / rel).exists()
 
 
+def check_invariant_contract() -> list[str]:
+    """docs/correctness.md's invariant table == the live registry.
+
+    Documented names are the backticked first cells of the table rows
+    between the '## 2. Kernel invariants' heading and the next section.
+    """
+    from repro.check.invariants import INVARIANTS
+
+    doc = REPO / "docs/correctness.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(REPO)}: missing (invariant contract unverifiable)"]
+    text = doc.read_text()
+    match = re.search(r"^## 2\..*?(?=^## )", text, re.MULTILINE | re.DOTALL)
+    if match is None:
+        return [f"{doc.relative_to(REPO)}: no '## 2.' invariant section found"]
+    documented = set(re.findall(r"^\| `([a-z_]+)` \|", match.group(0), re.MULTILINE))
+    errors = []
+    for name in sorted(documented - set(INVARIANTS)):
+        errors.append(
+            f"{doc.relative_to(REPO)}: invariant {name!r} documented but "
+            "not registered in repro.check.invariants.INVARIANTS"
+        )
+    for name in sorted(set(INVARIANTS) - documented):
+        errors.append(
+            f"{doc.relative_to(REPO)}: invariant {name!r} registered but "
+            "missing from the docs/correctness.md table"
+        )
+    return errors
+
+
 def main() -> int:
     choices, flags = cli_vocabulary()
-    errors: list[str] = []
+    errors: list[str] = list(check_invariant_contract())
     for path in DOC_FILES:
         if not path.exists():
             errors.append(f"{path.relative_to(REPO)}: listed doc file missing")
