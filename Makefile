@@ -7,10 +7,14 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench bench-update bench-suite bench-full fuzz fuzz-quick docs-check experiments examples loc clean
+.PHONY: test verify bench bench-update bench-suite bench-full fuzz fuzz-quick docs-check trace-smoke experiments examples loc clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# The default local verification path: the tier-1 suite, the docs
+# linter and the end-to-end tracing smoke test.
+verify: test docs-check trace-smoke
 
 # Differential fuzzing: random-but-seeded syscall workloads run against
 # both the kernel and the reference oracle (src/repro/check/), with the
@@ -45,6 +49,12 @@ bench-full:
 # Fail if docs reference modules/files/CLI flags that don't exist.
 docs-check:
 	$(PYTHON) tools/docs_check.py
+
+# End-to-end tracing smoke test: an instrumented fig4 run with
+# --tracepoints --trace --check; asserts every artifact parses and the
+# event stream matches the registry schemas. See docs/observability.md §9.
+trace-smoke:
+	$(PYTHON) tools/trace_smoke.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.cli all

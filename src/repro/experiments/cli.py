@@ -13,6 +13,9 @@ Structured artifacts (schemas in ``docs/observability.md``)::
     repro-experiments fig4 --csv out/      # out/fig4.csv
     repro-experiments fig4 --json out/     # out/fig4.json + manifest + metrics
     repro-experiments fig4 --trace out/    # out/fig4.trace.json (Perfetto)
+    repro-experiments fig4 --tracepoints out/  # kernel tracepoint stream,
+                                               # phase slices, numa_maps, vmstat
+    repro-experiments introspect           # canned workload + /proc-style views
     repro-experiments bench                # regression gate -> BENCH_results.json
 """
 
@@ -156,22 +159,36 @@ def _check_observation(obs, name: str) -> dict:
     return summary
 
 
-def _write_observation(obs, name: str, args, wall_time_s: float, invariants=None) -> None:
+def _write_observation(
+    obs, name: str, args, wall_time_s: float, invariants=None, recorder=None
+) -> None:
     """Emit the manifest/metrics/trace artifacts for one experiment."""
     from ..obs import run_manifest, write_chrome_trace
 
     if not obs.systems:
         print(f"[{name}: no simulated systems, no run artifacts]", file=sys.stderr)
         return
+    profile = None
+    if recorder is not None:
+        from ..obs import PhaseProfile
+
+        profile = PhaseProfile.from_events(recorder.events)
+        _write_tracepoints(obs, recorder, profile, name, args.tracepoints)
     if args.json is not None:
         os.makedirs(args.json, exist_ok=True)
+        extra = {}
+        if invariants is not None:
+            extra["invariants"] = invariants
+        if recorder is not None:
+            extra["tracepoints"] = recorder.summary()
+            extra["phases"] = profile.summary()
         manifest = run_manifest(
             obs.systems,
             experiment=name,
             tracers=obs.tracers,
             wall_time_s=wall_time_s,
             argv=list(sys.argv[1:]),
-            extra={"invariants": invariants} if invariants is not None else None,
+            extra=extra or None,
         )
         manifest_path = os.path.join(args.json, f"{name}.manifest.json")
         with open(manifest_path, "w") as fh:
@@ -182,6 +199,12 @@ def _write_observation(obs, name: str, args, wall_time_s: float, invariants=None
                 "type": "counter",
                 "value": float(len(invariants["violations"])),
             }
+        if profile is not None:
+            from ..obs import MetricsRegistry
+
+            registry = MetricsRegistry()
+            profile.publish(registry)
+            metrics.update(registry.snapshot())
         metrics_path = os.path.join(args.json, f"{name}.metrics.json")
         with open(metrics_path, "w") as fh:
             json.dump(metrics, fh, indent=2)
@@ -189,10 +212,147 @@ def _write_observation(obs, name: str, args, wall_time_s: float, invariants=None
         print(f"[metrics: {metrics_path}]", file=sys.stderr)
     if args.trace is not None:
         os.makedirs(args.trace, exist_ok=True)
+        events = obs.chrome_trace()
+        if profile is not None:
+            events.extend(profile.chrome_events())
         trace_path = write_chrome_trace(
-            os.path.join(args.trace, f"{name}.trace.json"), obs.chrome_trace()
+            os.path.join(args.trace, f"{name}.trace.json"), events
         )
         print(f"[trace: {trace_path}]", file=sys.stderr)
+
+
+def _write_tracepoints(obs, recorder, profile, name: str, outdir: str) -> None:
+    """Emit the ``--tracepoints`` artifact set for one experiment."""
+    from ..obs import write_chrome_trace, write_events_jsonl
+    from ..obs import procfs
+
+    os.makedirs(outdir, exist_ok=True)
+    events_path = write_events_jsonl(
+        os.path.join(outdir, f"{name}.tracepoints.jsonl"), recorder.events
+    )
+    phases_path = write_chrome_trace(
+        os.path.join(outdir, f"{name}.phases.trace.json"), profile.chrome_events()
+    )
+    maps_lines, vmstat_lines = [], []
+    for i, system in enumerate(obs.systems):
+        kernel = system.kernel
+        num_nodes = kernel.machine.num_nodes
+        vmstat_lines.append(f"# system {i}")
+        vmstat_lines.append(procfs.vmstat(kernel))
+        for process in kernel.processes:
+            maps_lines.append(f"# system {i} pid {process.pid} ({process.name})")
+            text = procfs.numa_maps(process, num_nodes)
+            if text:
+                maps_lines.append(text)
+    maps_path = os.path.join(outdir, f"{name}.numa_maps.txt")
+    with open(maps_path, "w") as fh:
+        fh.write("\n".join(maps_lines) + "\n")
+    vmstat_path = os.path.join(outdir, f"{name}.vmstat.txt")
+    with open(vmstat_path, "w") as fh:
+        fh.write("\n".join(vmstat_lines) + "\n")
+    if recorder.dropped:
+        print(
+            f"[{name}: tracepoint recorder dropped {recorder.dropped} event(s)]",
+            file=sys.stderr,
+        )
+    for path in (events_path, phases_path, maps_path, vmstat_path):
+        print(f"[tracepoints: {path}]", file=sys.stderr)
+
+
+#: The canned introspection workload: touches every registered
+#: tracepoint once through the differential harness (4-node machine,
+#: cores 2n/2n+1 on node n), so ``introspect`` doubles as an
+#: end-to-end sanity run — the oracle and invariant checkers vet every
+#: step before the views are rendered.
+_INTROSPECT_OPS: list[dict] = [
+    # first touch: 32 demand-zero pages on node 0
+    {"kind": "mmap", "proc": "p0", "core": 0, "region": "r0", "npages": 32, "prot": 3},
+    {"kind": "touch", "proc": "p0", "core": 0, "region": "r0", "write": True, "batch": 8},
+    # kernel next-touch: pages 0..16 migrate to node 1, then stay there
+    {"kind": "madv_nt", "proc": "p0", "core": 0, "region": "r0", "lo": 0, "hi": 16},
+    {"kind": "touch", "proc": "p0", "core": 2, "region": "r0", "lo": 0, "hi": 16,
+     "write": True, "batch": 8},
+    {"kind": "madv_nt", "proc": "p0", "core": 2, "region": "r0", "lo": 0, "hi": 16},
+    {"kind": "touch", "proc": "p0", "core": 2, "region": "r0", "lo": 0, "hi": 16,
+     "write": False, "batch": 8},
+    # synchronous migration: pages 16..32 to node 2
+    {"kind": "move_pages", "proc": "p0", "core": 0, "region": "r0",
+     "lo": 16, "hi": 32, "dest": 2},
+    # fork + first parent write breaks COW
+    {"kind": "fork", "proc": "p0", "core": 0, "child": "p1"},
+    {"kind": "touch", "proc": "p0", "core": 1, "region": "r0", "lo": 0, "hi": 4,
+     "write": True, "batch": 1},
+    # forced swap-out, then a remote touch swaps back in on node 2
+    {"kind": "swap_out", "proc": "p0", "core": 0, "region": "r0", "lo": 4, "hi": 12},
+    {"kind": "touch", "proc": "p0", "core": 4, "region": "r0", "lo": 4, "hi": 12,
+     "write": False, "batch": 4},
+]
+
+
+def _run_introspect(args) -> int:
+    """``repro-experiments introspect``: run the canned workload and
+    render every /proc-style view plus the phase profile."""
+    from ..check.harness import MACHINE_SPEC, DiffHarness
+    from ..obs import PhaseProfile, record_tracepoints
+    from ..obs import procfs
+
+    with record_tracepoints() as recorder:
+        harness = DiffHarness()
+        failure = harness.run(_INTROSPECT_OPS)
+    if failure is not None:
+        print(
+            f"introspect: workload diverged: {json.dumps(failure.to_json())}",
+            file=sys.stderr,
+        )
+        return 1
+    num_nodes = MACHINE_SPEC["num_nodes"]
+    kernel = harness.kernel
+    profile = PhaseProfile.from_events(recorder.events)
+
+    print("=== tracepoints ===")
+    for name, count in recorder.counts().items():
+        print(f"{name:<24} {count:>6}")
+    print()
+    print("=== phase breakdown ===")
+    for tag in profile.tags():
+        for phase, us in profile.phase_breakdown(tag).items():
+            pages = profile.phase_pages[(tag, phase)]
+            print(f"{tag + '.' + phase:<24} {us:>10.1f} us  {pages:>6} pages")
+    print()
+    print("=== page flows (pages copied src->dest) ===")
+    for (src, dest), pages in sorted(profile.flow_pages.items()):
+        print(f"N{src} -> N{dest}  {pages:>6}")
+    print()
+    for pname in sorted(harness.kprocs):
+        process = harness.kprocs[pname]
+        print(f"=== /proc/{process.pid}/numa_maps ({pname}) ===")
+        print(procfs.numa_maps(process, num_nodes))
+        print()
+    print("=== /proc/vmstat ===")
+    print(procfs.vmstat(kernel))
+    print()
+    print("=== /proc/pagetypeinfo ===")
+    print(procfs.pagetypeinfo(kernel))
+    print()
+    _, heatmap = procfs.placement_heatmap(recorder.events, num_nodes)
+    print(heatmap)
+    if args.tracepoints is not None:
+        os.makedirs(args.tracepoints, exist_ok=True)
+        from ..obs import write_chrome_trace, write_events_jsonl
+
+        paths = [
+            write_events_jsonl(
+                os.path.join(args.tracepoints, "introspect.tracepoints.jsonl"),
+                recorder.events,
+            ),
+            write_chrome_trace(
+                os.path.join(args.tracepoints, "introspect.phases.trace.json"),
+                profile.chrome_events(),
+            ),
+        ]
+        for path in paths:
+            print(f"[tracepoints: {path}]", file=sys.stderr)
+    return 0
 
 
 def _run_bench_gate(args) -> int:
@@ -204,10 +364,17 @@ def _run_bench_gate(args) -> int:
     report = bench.bench_report(
         metrics, args.baseline, args.tolerance, wall_time_s=round(time.time() - start, 3)
     )
+    report["phase_latency_us"] = bench.phase_latency_quantiles()
     os.makedirs(args.out, exist_ok=True)
     results_path = os.path.join(args.out, bench.RESULTS_FILENAME)
     with open(results_path, "w") as fh:
         json.dump(report, fh, indent=2)
+    print("  phase latency (lazy migration, informational):")
+    for name, q in report["phase_latency_us"].items():
+        print(
+            f"  {name:<30} p50 {q['p50_us']:>8.1f}  p95 {q['p95_us']:>8.1f}  "
+            f"p99 {q['p99_us']:>8.1f} us  ({q['count']} spans)"
+        )
     if report["comparison"] is None:
         print(f"bench: no baseline at {args.baseline!r} — wrote results only")
         for name, value in report["metrics"].items():
@@ -247,8 +414,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_RUNNERS) + ["all", "bench"],
-        help="which artifact to regenerate ('bench' runs the regression gate)",
+        choices=sorted(_RUNNERS) + ["all", "bench", "introspect"],
+        help="which artifact to regenerate ('bench' runs the regression "
+        "gate, 'introspect' renders the /proc-style kernel views)",
     )
     parser.add_argument(
         "--full",
@@ -274,6 +442,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also save <DIR>/<experiment>.trace.json (Chrome trace-event "
         "JSON; open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--tracepoints",
+        metavar="DIR",
+        default=None,
+        help="record kernel tracepoints during the run and save "
+        "<DIR>/<experiment>.tracepoints.jsonl, .phases.trace.json, "
+        ".numa_maps.txt and .vmstat.txt (see docs/observability.md §9)",
     )
     parser.add_argument(
         "--check",
@@ -312,16 +488,30 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.experiment == "bench":
         return _run_bench_gate(args)
+    if args.experiment == "introspect":
+        return _run_introspect(args)
     names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
-    observing = args.json is not None or args.trace is not None or args.check
+    observing = (
+        args.json is not None
+        or args.trace is not None
+        or args.tracepoints is not None
+        or args.check
+    )
     broken = 0
     for name in names:
         start = time.time()
+        recorder = None
         if observing:
             from ..obs import observe
 
             with observe() as obs:
-                results = _RUNNERS[name](args.full)
+                if args.tracepoints is not None:
+                    from ..obs import record_tracepoints
+
+                    with record_tracepoints() as recorder:
+                        results = _RUNNERS[name](args.full)
+                else:
+                    results = _RUNNERS[name](args.full)
         else:
             obs, results = None, _RUNNERS[name](args.full)
         for result in results:
@@ -339,7 +529,14 @@ def main(argv: list[str] | None = None) -> int:
             invariants = _check_observation(obs, name)
             broken += len(invariants["violations"])
         if obs is not None:
-            _write_observation(obs, name, args, wall_time_s=round(wall, 3), invariants=invariants)
+            _write_observation(
+                obs,
+                name,
+                args,
+                wall_time_s=round(wall, 3),
+                invariants=invariants,
+                recorder=recorder,
+            )
         print(f"[{name} regenerated in {wall:.1f}s wall]", file=sys.stderr)
     return 1 if broken else 0
 

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..errors import SegmentationFault
+from ..obs import tracepoints
 from ..util.units import PAGE_SIZE
 from .core import SIGSEGV, Kernel
 from .mempolicy import PolicyKind, candidate_nodes, interleave_nodes
@@ -76,6 +77,25 @@ def handle_fault(kernel: Kernel, thread: "SimThread", addr: int, write: bool):
     access); raises :class:`SegmentationFault` for unrecoverable
     accesses.
     """
+    process = thread.process
+    tracepoints.emit(
+        "fault:enter",
+        kernel,
+        pid=process.pid,
+        tid=thread.tid,
+        core=thread.core,
+        addr=addr,
+        write=write,
+    )
+    try:
+        yield from _handle_fault_locked(kernel, thread, addr, write)
+    finally:
+        tracepoints.emit("fault:exit", kernel, pid=process.pid, tid=thread.tid)
+
+
+def _handle_fault_locked(kernel: Kernel, thread: "SimThread", addr: int, write: bool):
+    """The body of :func:`handle_fault` (split so the ``fault:enter`` /
+    ``fault:exit`` tracepoints pair even when the fault escalates)."""
     process = thread.process
     yield kernel.charge("fault.entry", kernel.cost.fault_entry_us)
     yield process.mmap_sem.acquire_read()
@@ -154,6 +174,9 @@ def _demand_zero(kernel: Kernel, thread: "SimThread", vma: Vma, idx: int, write:
         vma.pt.map_pages(slice(idx, idx + 1), frames, np.asarray([node]), vma.allows(True))
         kernel.stats.minor_faults += 1
         kernel.stats.pages_first_touched += 1
+        tracepoints.emit(
+            "fault:demand_zero", kernel, pid=process.pid, vma=vma.start, node=int(node), pages=1
+        )
     finally:
         ptl.release()
 
@@ -205,6 +228,14 @@ def demand_zero_batch(kernel: Kernel, thread: "SimThread", vma: Vma, idxs: np.nd
         frames = kernel.alloc_on(int(node), count)
         kernel.numastat.record(int(node), int(node), count, interleaved)
         vma.pt.map_pages(idxs[sel], frames, np.full(count, node, dtype=np.int16), writable)
+        tracepoints.emit(
+            "fault:demand_zero",
+            kernel,
+            pid=process.pid,
+            vma=vma.start,
+            node=int(node),
+            pages=count,
+        )
     kernel.stats.minor_faults += k
     kernel.stats.pages_first_touched += k
     try:
@@ -262,6 +293,14 @@ def nt_fault_batch(
     if stay_idxs.size:
         shared = kernel.frames_shared_mask(vma.pt.frame[stay_idxs])
         vma.pt.clear_next_touch(stay_idxs, vma.allows(True), cow=shared)
+        tracepoints.emit(
+            "fault:nt_stay",
+            kernel,
+            pid=process.pid,
+            vma=vma.start,
+            node=int(dest),
+            pages=int(stay_idxs.size),
+        )
     move_srcs = src_nodes[moving]
     old_frames = vma.pt.frame[move_idxs].copy()
     if move_idxs.size:
@@ -274,24 +313,66 @@ def nt_fault_batch(
         vma.pt.node[move_idxs] = dest
         vma.pt.clear_next_touch(move_idxs, vma.allows(True))
         kernel.stats.pages_migrated += int(move_idxs.size)
+        tracepoints.emit(
+            "fault:nt_migrate",
+            kernel,
+            pid=process.pid,
+            vma=vma.start,
+            dest=int(dest),
+            pages=int(move_idxs.size),
+        )
     # --- end of atomic section; now pay for it.
     try:
         # Each page in the batch is a distinct hardware fault; the
         # caller may have already paid the entry cost of the first one.
         entries = k - (1 if entry_charged else 0)
+        t0 = kernel.env.now
         yield kernel.charge(
             "nt.control", k * cost.nt_fault_control_us + entries * cost.fault_entry_us
         )
+        tracepoints.emit(
+            "migrate:phase_lookup",
+            kernel,
+            tag="nt",
+            pid=process.pid,
+            vma=vma.start,
+            pages=k,
+            dur_us=kernel.env.now - t0,
+        )
         if move_idxs.size:
+            t0 = kernel.env.now
             yield kernel.charge("nt.alloc", cost.nt_pcp_alloc_us * move_idxs.size)
+            tracepoints.emit(
+                "migrate:phase_alloc",
+                kernel,
+                tag="nt",
+                pid=process.pid,
+                vma=vma.start,
+                dest=int(dest),
+                pages=int(move_idxs.size),
+                dur_us=kernel.env.now - t0,
+            )
             # A fraction of the copy holds the PTL (COW-style; 1.0 by
             # default — see CostModel.nt_copy_locked_fraction).
             if cost.nt_copy_locked_fraction > 0:
                 t0 = kernel.env.now
                 for src in np.unique(move_srcs):
-                    nbytes = float(np.count_nonzero(move_srcs == src)) * PAGE_SIZE
+                    count = int(np.count_nonzero(move_srcs == src))
+                    nbytes = float(count) * PAGE_SIZE
+                    ts = kernel.env.now
                     yield kernel.copy_pages_event(
                         int(src), dest, nbytes * cost.nt_copy_locked_fraction, process
+                    )
+                    tracepoints.emit(
+                        "migrate:phase_copy",
+                        kernel,
+                        tag="nt",
+                        pid=process.pid,
+                        vma=vma.start,
+                        src=int(src),
+                        dest=int(dest),
+                        pages=count,
+                        dur_us=kernel.env.now - ts,
                     )
                 kernel.ledger.add("nt.copy", kernel.env.now - t0)
     finally:
@@ -301,13 +382,38 @@ def nt_fault_batch(
             # Tail of the copy proceeds without the PTL.
             t0 = kernel.env.now
             for src in np.unique(move_srcs):
-                nbytes = float(np.count_nonzero(move_srcs == src)) * PAGE_SIZE
+                count = int(np.count_nonzero(move_srcs == src))
+                nbytes = float(count) * PAGE_SIZE
+                ts = kernel.env.now
                 yield kernel.copy_pages_event(
                     int(src), dest, nbytes * (1.0 - cost.nt_copy_locked_fraction), process
+                )
+                # pages=0: the locked half already booked this chunk's
+                # page count — the flow matrix must not double-count.
+                tracepoints.emit(
+                    "migrate:phase_copy",
+                    kernel,
+                    tag="nt",
+                    pid=process.pid,
+                    vma=vma.start,
+                    src=int(src),
+                    dest=int(dest),
+                    pages=0 if cost.nt_copy_locked_fraction > 0 else count,
+                    dur_us=kernel.env.now - ts,
                 )
             kernel.ledger.add("nt.copy", kernel.env.now - t0)
         # Old frames go back through the per-cpu pageset free path.
         kernel.release_frames(old_frames)
+        t0 = kernel.env.now
         yield kernel.charge("nt.free", cost.nt_pcp_free_us * old_frames.size)
+        tracepoints.emit(
+            "migrate:phase_remap",
+            kernel,
+            tag="nt",
+            pid=process.pid,
+            vma=vma.start,
+            pages=int(old_frames.size),
+            dur_us=kernel.env.now - t0,
+        )
     if kernel.debug_checks:
         vma.pt.check_invariants()

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs import tracepoints
 from ..util.units import PAGE_SIZE
 from .core import Kernel
 from .vma import Vma
@@ -84,27 +85,65 @@ def migrate_vma_pages(
             vma.pt.frame[chunk] = new_frames
             vma.pt.node[chunk] = dest_node
             # --- end of atomic section; now pay for it.
+            t0 = kernel.env.now
             yield kernel.charge(f"{tag}.control", control_us * k)
             # 2.6.27 migration flushes per page (no batching of the
             # unmap flushes): k shootdowns, each IPI-ing every other
             # CPU running this mm — the Figure 7 sync-scaling limiter.
             yield kernel.tlb_shootdown_batch(process, thread.core, k, tag=f"{tag}.control")
+            tracepoints.emit(
+                "migrate:phase_lookup",
+                kernel,
+                tag=tag,
+                pid=process.pid,
+                vma=vma.start,
+                pages=k,
+                dur_us=kernel.env.now - t0,
+            )
+            # The alloc span includes the lru_lock acquisition: waiting
+            # for the destination zone lock is part of what the phase
+            # costs, which is how the profiler makes Figure 7's
+            # contention visible.
+            t0 = kernel.env.now
             lru = kernel.lru_locks[dest_node]
             yield lru.acquire()
             try:
                 yield kernel.charge(f"{tag}.control", cost.lru_lock_hold_us / 2 * k)
             finally:
                 lru.release()
+            tracepoints.emit(
+                "migrate:phase_alloc",
+                kernel,
+                tag=tag,
+                pid=process.pid,
+                vma=vma.start,
+                dest=dest_node,
+                pages=k,
+                dur_us=kernel.env.now - t0,
+            )
         finally:
             if anon_vma is not None:
                 anon_vma.release()
         # Copy outside the rmap lock, grouped by source node.
         t0 = kernel.env.now
         for src in np.unique(src_nodes):
-            nbytes = float(np.count_nonzero(src_nodes == src)) * PAGE_SIZE
-            yield kernel.copy_pages_event(int(src), dest_node, nbytes, process)
+            count = int(np.count_nonzero(src_nodes == src))
+            ts = kernel.env.now
+            yield kernel.copy_pages_event(int(src), dest_node, float(count) * PAGE_SIZE, process)
+            tracepoints.emit(
+                "migrate:phase_copy",
+                kernel,
+                tag=tag,
+                pid=process.pid,
+                vma=vma.start,
+                src=int(src),
+                dest=dest_node,
+                pages=count,
+                dur_us=kernel.env.now - ts,
+            )
         kernel.ledger.add(f"{tag}.copy", kernel.env.now - t0)
         # Put the old frames back.
+        t0 = kernel.env.now
         for src in np.unique(src_nodes):
             lru = kernel.lru_locks[int(src)]
             yield lru.acquire()
@@ -116,6 +155,15 @@ def migrate_vma_pages(
                 )
             finally:
                 lru.release()
+        tracepoints.emit(
+            "migrate:phase_remap",
+            kernel,
+            tag=tag,
+            pid=process.pid,
+            vma=vma.start,
+            pages=k,
+            dur_us=kernel.env.now - t0,
+        )
         moved += k
         kernel.stats.pages_migrated += k
     if kernel.debug_checks:

@@ -21,6 +21,7 @@ from typing import Optional, Sequence, TYPE_CHECKING
 import numpy as np
 
 from ..errors import Errno, SyscallError
+from ..obs import tracepoints
 from ..util.units import PAGE_SIZE
 from .core import Kernel, SimProcess
 from .mempolicy import MemPolicy
@@ -238,6 +239,9 @@ def sys_move_pages(
     process = target if target is not None else thread.process
     cost = kernel.cost
     status = np.empty(n, dtype=np.int64)
+    tracepoints.emit(
+        "move_pages:batch", kernel, pid=process.pid, pages=n, patched=bool(patched)
+    )
     # Fixed overhead: syscall entry + argument copyin, then the
     # migrate_prep (lru_add_drain_all) which serializes callers.
     yield kernel.charge("move_pages.base", cost.move_pages_base_us - cost.migrate_prep_us)
@@ -273,8 +277,18 @@ def sys_move_pages(
             if not patched:
                 # Historic bug: resolving each page's target scans the
                 # full destination array -> O(n) per page.
+                t0 = kernel.env.now
                 yield kernel.charge(
                     "move_pages.scan", (j - i) * n * cost.unpatched_scan_us_per_entry
+                )
+                tracepoints.emit(
+                    "migrate:phase_lookup",
+                    kernel,
+                    tag="move_pages.scan",
+                    pid=process.pid,
+                    vma=vma.start,
+                    pages=j - i,
+                    dur_us=kernel.env.now - t0,
                 )
             populated = vma.pt.frame[run] >= 0
             status[i:j] = np.where(populated, dest, -int(Errno.ENOENT))

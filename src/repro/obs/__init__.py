@@ -13,6 +13,16 @@ Everything a run produces beyond its ASCII tables lives here:
 * :mod:`repro.obs.manifest` — the full-run ``run_manifest`` artifact
   (machine, cost model, git revision, kernel stats, ledger, locks,
   link utilisations, merged metrics snapshot);
+* :mod:`repro.obs.tracepoints` — named kernel tracepoints
+  (``fault:enter``, ``migrate:phase_copy``, ...) with zero-cost
+  dispatch while disabled and a bounded recorder behind
+  :func:`record_tracepoints`;
+* :mod:`repro.obs.profile` — the phase profiler folding a recorded
+  event stream into fault spans, per-phase histograms and node flow
+  matrices;
+* :mod:`repro.obs.procfs` — ``/proc``-style views (``numa_maps``,
+  ``vmstat``, ``pagetypeinfo``, placement heatmap) of a live kernel
+  (imported lazily: it pulls in kernel modules);
 * :mod:`repro.obs.bench` — the benchmark-regression gate behind
   ``repro-experiments bench`` (imported lazily: it pulls in the
   experiment modules).
@@ -24,6 +34,15 @@ from .chrometrace import chrome_trace_events, write_chrome_trace
 from .context import Observation, current_observation, observe
 from .manifest import run_manifest
 from .metrics import MetricsRegistry, merge_snapshots, system_metrics
+from .profile import PhaseProfile
+from .tracepoints import (
+    TRACEPOINTS,
+    TracepointRecorder,
+    current_recorder,
+    record_tracepoints,
+    tracepoints_enabled,
+    write_events_jsonl,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -35,4 +54,11 @@ __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
     "run_manifest",
+    "TRACEPOINTS",
+    "TracepointRecorder",
+    "record_tracepoints",
+    "current_recorder",
+    "tracepoints_enabled",
+    "write_events_jsonl",
+    "PhaseProfile",
 ]

@@ -27,6 +27,7 @@ __all__ = [
     "DEFAULT_BASELINE",
     "RESULTS_FILENAME",
     "run_bench",
+    "phase_latency_quantiles",
     "compare",
     "bench_report",
 ]
@@ -87,6 +88,34 @@ def run_bench() -> dict[str, float]:
     for suite in _SUITES:
         metrics.update((k, float(v)) for k, v in suite().items())
     return dict(sorted(metrics.items()))
+
+
+def phase_latency_quantiles(npages: int = _LARGE) -> dict[str, dict]:
+    """Per-phase latency quantiles of one lazy-migration run.
+
+    Records the kernel tracepoints of a single-thread Figure 7 lazy
+    (next-touch) migration and folds them through the phase profiler.
+    Informational, **not gated**: latencies are lower-better while the
+    gate compares higher-better throughputs, so these ride along in
+    ``BENCH_results.json`` under ``phase_latency_us`` for trend
+    inspection without affecting the verdict.
+    """
+    from ..experiments import fig7_scalability
+    from .profile import PhaseProfile
+    from .tracepoints import record_tracepoints
+
+    with record_tracepoints() as recorder:
+        fig7_scalability.measure_parallel_migration(npages, 1, "lazy")
+    profile = PhaseProfile.from_events(recorder.events)
+    out: dict[str, dict] = {}
+    for (tag, phase), hist in sorted(profile.phase_hist.items()):
+        out[f"{tag}.{phase}"] = {
+            "count": hist.count,
+            "p50_us": hist.quantile(0.50),
+            "p95_us": hist.quantile(0.95),
+            "p99_us": hist.quantile(0.99),
+        }
+    return out
 
 
 def compare(metrics: dict, baseline: dict, tolerance: float) -> dict:

@@ -16,7 +16,11 @@ an existing name with a different instrument type is an error.
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Iterable, Mapping, Optional
+
+from ..errors import ReproError
 
 __all__ = [
     "Counter",
@@ -72,10 +76,19 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean)."""
+    """Streaming summary of observed values (count/sum/min/max/mean)
+    plus quantiles from a bounded reservoir.
+
+    The reservoir holds up to :data:`RESERVOIR_SIZE` observations,
+    replaced by Vitter's algorithm R so it stays a uniform sample of
+    the whole stream. The replacement RNG is seeded from the
+    instrument *name* (``zlib.crc32``, stable across processes —
+    unlike ``hash()``), so identical runs dump identical snapshots.
+    """
 
     kind = "histogram"
-    __slots__ = ("name", "count", "sum", "min", "max")
+    RESERVOIR_SIZE = 512
+    __slots__ = ("name", "count", "sum", "min", "max", "_reservoir", "_rng")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -83,6 +96,8 @@ class Histogram:
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._reservoir: list[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -90,12 +105,26 @@ class Histogram:
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (0 <= q <= 1) of the reservoir sample,
+        linearly interpolated; ``None`` before any observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        return _quantile(sorted(self._reservoir), q)
+
     def dump(self) -> dict:
+        values = sorted(self._reservoir)
         return {
             "type": self.kind,
             "count": self.count,
@@ -103,7 +132,23 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": _quantile(values, 0.50),
+            "p95": _quantile(values, 0.95),
+            "p99": _quantile(values, 0.99),
+            "reservoir": values,
         }
+
+
+def _quantile(values: list, q: float) -> Optional[float]:
+    """Interpolated quantile of an already-sorted sample."""
+    if not values:
+        return None
+    pos = q * (len(values) - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if frac == 0.0 or lo + 1 >= len(values):
+        return float(values[lo])
+    return float(values[lo] + (values[lo + 1] - values[lo]) * frac)
 
 
 class MetricsRegistry:
@@ -131,6 +176,18 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def add(self, instrument) -> None:
+        """Register an instrument built elsewhere under its own name
+        (e.g. a histogram the phase profiler filled while folding
+        events). Re-adding the same object is a no-op; a different
+        instrument under the same name is an error."""
+        existing = self._instruments.get(instrument.name)
+        if existing is not None and existing is not instrument:
+            raise TypeError(
+                f"metric {instrument.name!r} already registered as {existing.kind}"
+            )
+        self._instruments[instrument.name] = instrument
+
     def __len__(self) -> int:
         return len(self._instruments)
 
@@ -150,8 +207,10 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
     """Aggregate per-system snapshots into one run-level snapshot.
 
     Counters and histogram counts/sums add up, gauges keep their
-    maximum (peak observed), histogram min/max widen. Merging entries
-    of different types under one name is an error.
+    maximum (peak observed), histogram min/max widen and their
+    reservoirs concatenate (re-subsampled evenly when over the bound,
+    quantiles recomputed). Merging entries of different kinds under
+    one name raises :class:`~repro.errors.ReproError`.
     """
     out: dict[str, dict] = {}
     for snap in snapshots:
@@ -160,8 +219,12 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
             if cur is None:
                 out[name] = dict(entry)
                 continue
-            if cur["type"] != entry["type"]:
-                raise TypeError(f"metric {name!r}: cannot merge {cur['type']} with {entry['type']}")
+            if cur.get("type") != entry.get("type"):
+                raise ReproError(
+                    f"metric {name!r}: cannot merge snapshot entries of kind "
+                    f"{cur.get('type')!r} with {entry.get('type')!r} — the same "
+                    "name must publish the same instrument type in every system"
+                )
             if entry["type"] == "counter":
                 cur["value"] += entry["value"]
             elif entry["type"] == "gauge":
@@ -173,6 +236,17 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
                     a, b = cur[key], entry[key]
                     cur[key] = b if a is None else (a if b is None else pick(a, b))
                 cur["mean"] = cur["sum"] / cur["count"] if cur["count"] else 0.0
+                merged = sorted(
+                    list(cur.get("reservoir") or []) + list(entry.get("reservoir") or [])
+                )
+                cap = Histogram.RESERVOIR_SIZE
+                if len(merged) > cap:
+                    step = (len(merged) - 1) / (cap - 1)
+                    merged = [merged[round(i * step)] for i in range(cap)]
+                cur["reservoir"] = merged
+                cur["p50"] = _quantile(merged, 0.50)
+                cur["p95"] = _quantile(merged, 0.95)
+                cur["p99"] = _quantile(merged, 0.99)
     return {name: out[name] for name in sorted(out)}
 
 

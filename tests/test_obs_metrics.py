@@ -5,7 +5,9 @@ import json
 import pytest
 
 from repro import MemPolicy, PROT_RW, System
+from repro.errors import ReproError
 from repro.obs.metrics import (
+    Histogram,
     MetricsRegistry,
     merge_snapshots,
     publish_tracer,
@@ -96,12 +98,80 @@ def test_merge_snapshots_semantics():
     assert list(merged) == sorted(merged)
 
 
-def test_merge_snapshots_type_conflict():
+def test_merge_snapshots_kind_conflict_raises_repro_error():
+    """Mixing instrument kinds under one name is a structural bug in
+    the publishing code, reported as a clear ReproError, not a silent
+    mis-merge or a bare KeyError downstream."""
     a, b = MetricsRegistry(), MetricsRegistry()
     a.counter("x").inc()
     b.gauge("x").set(1)
-    with pytest.raises(TypeError):
+    with pytest.raises(ReproError, match=r"metric 'x'.*counter.*gauge"):
         merge_snapshots([a.snapshot(), b.snapshot()])
+    c = MetricsRegistry()
+    c.histogram("x").observe(1.0)
+    with pytest.raises(ReproError, match="same instrument type"):
+        merge_snapshots([a.snapshot(), c.snapshot()])
+
+
+def test_histogram_quantiles_basics():
+    h = Histogram("q")
+    assert h.quantile(0.5) is None  # no observations yet
+    for v in range(1, 101):  # 1..100
+        h.observe(float(v))
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(1.0) == 100.0
+    assert h.quantile(0.5) == pytest.approx(50.5)
+    assert h.quantile(0.95) == pytest.approx(95.05)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    dump = h.dump()
+    assert dump["p50"] == pytest.approx(50.5)
+    assert dump["p95"] == pytest.approx(95.05)
+    assert dump["p99"] == pytest.approx(99.01)
+    assert len(dump["reservoir"]) == 100
+
+
+def test_histogram_reservoir_is_bounded_and_deterministic():
+    def fill(name):
+        h = Histogram(name)
+        for v in range(10_000):
+            h.observe(float(v))
+        return h
+
+    a, b = fill("same"), fill("same")
+    assert len(a._reservoir) == Histogram.RESERVOIR_SIZE
+    assert a._reservoir == b._reservoir  # crc32-seeded RNG, not hash()
+    assert a.dump() == b.dump()
+    # the sample stays representative of the whole stream
+    assert a.quantile(0.5) == pytest.approx(5000, rel=0.15)
+    assert a.count == 10_000 and a.max == 9999.0
+
+
+def test_merged_histograms_recompute_quantiles_within_bound():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for v in range(600):
+        a.histogram("h").observe(float(v))
+    for v in range(600, 1200):
+        b.histogram("h").observe(float(v))
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])["h"]
+    assert merged["count"] == 1200
+    assert len(merged["reservoir"]) <= Histogram.RESERVOIR_SIZE
+    assert merged["reservoir"] == sorted(merged["reservoir"])
+    assert merged["p50"] == pytest.approx(599.5, rel=0.1)
+    assert merged["p99"] > merged["p95"] > merged["p50"]
+
+
+def test_registry_add_adopts_external_instruments():
+    reg = MetricsRegistry()
+    h = Histogram("tp.phase.nt.copy.dur_us")
+    h.observe(3.0)
+    reg.add(h)
+    reg.add(h)  # same object: no-op
+    assert reg.histogram("tp.phase.nt.copy.dur_us") is h
+    with pytest.raises(TypeError):
+        reg.add(Histogram("tp.phase.nt.copy.dur_us"))  # different object
 
 
 def test_system_metrics_publishes_every_subsystem():

@@ -14,10 +14,15 @@ verifies each against the tree:
    experiment name must be a real CLI choice and every ``--flag`` must
    be accepted by the parser.
 
-It additionally holds ``docs/correctness.md`` to its contract: the
-invariant table there must list exactly the checkers registered in
-``repro.check.invariants.INVARIANTS`` — a checker documented but never
-implemented fails, and so does one implemented but never documented.
+It additionally holds two docs to their contracts:
+
+* ``docs/correctness.md``: the invariant table must list exactly the
+  checkers registered in ``repro.check.invariants.INVARIANTS`` — a
+  checker documented but never implemented fails, and so does one
+  implemented but never documented;
+* ``docs/observability.md`` §9: the tracepoint table must list exactly
+  the names in ``repro.obs.tracepoints.TRACEPOINTS``, each with its
+  exact field list.
 
 Run via ``make docs-check``. Exit status 1 lists every broken
 reference with ``file:line``.
@@ -51,7 +56,7 @@ def cli_vocabulary() -> tuple[set[str], set[str]]:
     """(experiment choices, accepted flags) from the real CLI module."""
     from repro.experiments import cli
 
-    choices = set(cli._RUNNERS) | {"all", "bench"}
+    choices = set(cli._RUNNERS) | {"all", "bench", "introspect"}
     flags = set(FLAG_RE.findall((REPO / "src/repro/experiments/cli.py").read_text()))
     return choices, flags
 
@@ -108,9 +113,54 @@ def check_invariant_contract() -> list[str]:
     return errors
 
 
+def check_tracepoint_contract() -> list[str]:
+    """docs/observability.md §9's tracepoint table == the registry.
+
+    Rows are ``| `name` | `field, field, ...` | meaning |`` between the
+    '## 9.' heading and the next section (or end of file); both the
+    name set and each row's field list must match
+    ``repro.obs.tracepoints.TRACEPOINTS`` exactly.
+    """
+    from repro.obs.tracepoints import TRACEPOINTS
+
+    doc = REPO / "docs/observability.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(REPO)}: missing (tracepoint contract unverifiable)"]
+    text = doc.read_text()
+    match = re.search(r"^## 9\..*?(?=^## |\Z)", text, re.MULTILINE | re.DOTALL)
+    if match is None:
+        return [f"{doc.relative_to(REPO)}: no '## 9.' tracepoint section found"]
+    documented = {
+        name: tuple(f.strip() for f in fields.split(","))
+        for name, fields in re.findall(
+            r"^\| `([a-z_]+:[a-z_]+)` \| `([^`]+)` \|", match.group(0), re.MULTILINE
+        )
+    }
+    errors = []
+    for name in sorted(set(documented) - set(TRACEPOINTS)):
+        errors.append(
+            f"{doc.relative_to(REPO)}: tracepoint {name!r} documented but "
+            "not registered in repro.obs.tracepoints.TRACEPOINTS"
+        )
+    for name in sorted(set(TRACEPOINTS) - set(documented)):
+        errors.append(
+            f"{doc.relative_to(REPO)}: tracepoint {name!r} registered but "
+            "missing from the docs/observability.md table"
+        )
+    for name in sorted(set(documented) & set(TRACEPOINTS)):
+        if documented[name] != TRACEPOINTS[name].fields:
+            errors.append(
+                f"{doc.relative_to(REPO)}: tracepoint {name!r} fields "
+                f"{list(documented[name])} do not match the registry's "
+                f"{list(TRACEPOINTS[name].fields)}"
+            )
+    return errors
+
+
 def main() -> int:
     choices, flags = cli_vocabulary()
     errors: list[str] = list(check_invariant_contract())
+    errors.extend(check_tracepoint_contract())
     for path in DOC_FILES:
         if not path.exists():
             errors.append(f"{path.relative_to(REPO)}: listed doc file missing")

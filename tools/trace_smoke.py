@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Trace smoke test: one instrumented fig4 run, every artifact parsed.
+
+Runs ``repro-experiments fig4 --tracepoints --trace --check`` (quick
+sizes) into a temporary directory, then asserts:
+
+* the invariant checkers passed (CLI exit 0);
+* the tracepoint stream parses as JSON lines, is non-empty, and every
+  event name is a registered tracepoint with its exact field schema;
+* the phase Chrome trace parses, contains ``ph: "X"`` slices, and the
+  ledger trace parses alongside it;
+* ``numa_maps`` lines parse (address + policy + ``N<i>=count`` terms)
+  and ``vmstat`` parses as ``name value`` pairs with the ``numa_*``
+  rows internally consistent (hits + misses == pages first-touched
+  seed not asserted — just integer, non-negative).
+
+This is ``make trace-smoke``, part of ``make verify`` — the cheap
+end-to-end proof that the observability stack stays wired: kernel emit
+sites -> recorder -> profiler/procfs -> CLI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+NUMA_MAPS_RE = re.compile(
+    r"^[0-9a-f]{12} (default|bind:[\d,]+|prefer:\d+|interleave:[\d,]+) "
+    r"(anon|file)=\d+"
+)
+
+
+def fail(msg: str) -> None:
+    print(f"trace-smoke: FAIL — {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    from repro.obs.tracepoints import TRACEPOINTS
+
+    with tempfile.TemporaryDirectory(prefix="trace_smoke.") as tmp:
+        out = Path(tmp)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "fig4",
+                "--tracepoints",
+                str(out),
+                "--trace",
+                str(out),
+                "--check",
+            ],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            fail(f"instrumented fig4 run exited {proc.returncode}")
+
+        # -- tracepoint stream: JSONL, registered names, exact schemas.
+        events_path = out / "fig4.tracepoints.jsonl"
+        if not events_path.exists():
+            fail(f"{events_path.name} not written")
+        envelope = {"name", "t_us", "sys"}
+        names_seen: set[str] = set()
+        count = 0
+        with events_path.open() as fh:
+            for lineno, line in enumerate(fh, 1):
+                event = json.loads(line)
+                name = event.get("name")
+                tp = TRACEPOINTS.get(name)
+                if tp is None:
+                    fail(f"{events_path.name}:{lineno}: unregistered event {name!r}")
+                fields = set(event) - envelope
+                if fields != set(tp.fields):
+                    fail(
+                        f"{events_path.name}:{lineno}: {name} fields "
+                        f"{sorted(fields)} != schema {sorted(tp.fields)}"
+                    )
+                names_seen.add(name)
+                count += 1
+        if count == 0:
+            fail(f"{events_path.name} is empty")
+        for expected in ("migrate:phase_copy", "fault:enter", "move_pages:batch"):
+            if expected not in names_seen:
+                fail(f"fig4 run emitted no {expected!r} events")
+
+        # -- Chrome traces parse and contain complete-event slices.
+        for trace_name in ("fig4.phases.trace.json", "fig4.trace.json"):
+            trace_path = out / trace_name
+            if not trace_path.exists():
+                fail(f"{trace_name} not written")
+            trace = json.loads(trace_path.read_text())
+            if not isinstance(trace, list) or not trace:
+                fail(f"{trace_name} is not a non-empty event array")
+            if not any(e.get("ph") == "X" for e in trace):
+                fail(f"{trace_name} has no complete-event slices")
+
+        # -- numa_maps parses line by line.
+        maps_path = out / "fig4.numa_maps.txt"
+        if not maps_path.exists():
+            fail(f"{maps_path.name} not written")
+        vma_lines = 0
+        for lineno, line in enumerate(maps_path.read_text().splitlines(), 1):
+            if not line or line.startswith("#"):
+                continue
+            if NUMA_MAPS_RE.match(line) is None:
+                fail(f"{maps_path.name}:{lineno}: unparseable line {line!r}")
+            vma_lines += 1
+
+        # -- vmstat parses as "name int" pairs, counters non-negative.
+        vmstat_path = out / "fig4.vmstat.txt"
+        if not vmstat_path.exists():
+            fail(f"{vmstat_path.name} not written")
+        rows = 0
+        for lineno, line in enumerate(vmstat_path.read_text().splitlines(), 1):
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2 or not re.fullmatch(r"-?\d+", parts[1]):
+                fail(f"{vmstat_path.name}:{lineno}: unparseable line {line!r}")
+            if int(parts[1]) < 0:
+                fail(f"{vmstat_path.name}:{lineno}: negative counter {line!r}")
+            rows += 1
+        if rows == 0:
+            fail(f"{vmstat_path.name} is empty")
+
+    print(
+        f"trace-smoke: OK ({count} events, {len(names_seen)} tracepoint "
+        f"names, {vma_lines} numa_maps VMAs, {rows} vmstat rows)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
