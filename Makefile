@@ -7,14 +7,15 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test verify bench bench-update bench-suite bench-full fuzz fuzz-quick docs-check trace-smoke experiments examples loc clean
+.PHONY: test verify bench bench-update bench-suite bench-full perf perf-update fuzz fuzz-quick docs-check trace-smoke experiments examples loc clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
 
 # The default local verification path: the tier-1 suite, the docs
-# linter and the end-to-end tracing smoke test.
-verify: test docs-check trace-smoke
+# linter, the end-to-end tracing smoke test and the host wall-clock
+# gate.
+verify: test docs-check trace-smoke perf
 
 # Differential fuzzing: random-but-seeded syscall workloads run against
 # both the kernel and the reference oracle (src/repro/check/), with the
@@ -38,6 +39,17 @@ bench:
 # Re-baseline after an intentional, reviewed performance change.
 bench-update:
 	$(PYTHON) -m repro.experiments.cli bench --out results --update-baseline
+
+# The host wall-clock gate: times the fig4/fig5/fig7 sweeps and a
+# fuzzer corpus on the host, writes results/BENCH_wall.json, and exits
+# non-zero if any scenario runs more than 25% slower than
+# benchmarks/BENCH_WALL_baseline.json. See docs/performance.md.
+perf:
+	$(PYTHON) tools/perf_bench.py --out results
+
+# Re-pin the wall-clock baseline (new hardware, or a reviewed change).
+perf-update:
+	$(PYTHON) tools/perf_bench.py --out results --update-baseline
 
 # The full pytest-benchmark suite (paper-shape assertions).
 bench-suite:

@@ -355,6 +355,39 @@ def _run_introspect(args) -> int:
     return 0
 
 
+def _maybe_profile(args, name: str, fn: Callable[[], object]):
+    """Run ``fn`` under cProfile when ``--profile DIR`` is given.
+
+    Dumps ``<DIR>/<name>.profile.pstats`` (load with :mod:`pstats` or
+    snakeviz) plus ``<DIR>/<name>.profile.txt``, the top 25 functions
+    by cumulative host time — the first place to look when ``make
+    perf`` regresses (see docs/performance.md).
+    """
+    if args.profile is None:
+        return fn()
+    import cProfile
+    import io
+    import pstats
+
+    os.makedirs(args.profile, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        pstats_path = os.path.join(args.profile, f"{name}.profile.pstats")
+        profiler.dump_stats(pstats_path)
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(25)
+        text_path = os.path.join(args.profile, f"{name}.profile.txt")
+        with open(text_path, "w") as fh:
+            fh.write(buffer.getvalue())
+        print(f"[profile: {pstats_path}]", file=sys.stderr)
+        print(f"[profile: {text_path}]", file=sys.stderr)
+    return result
+
+
 def _run_bench_gate(args) -> int:
     """``repro-experiments bench``: measure, write, compare, gate."""
     from ..obs import bench
@@ -452,6 +485,14 @@ def main(argv: list[str] | None = None) -> int:
         ".numa_maps.txt and .vmstat.txt (see docs/observability.md §9)",
     )
     parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help="run under cProfile and save <DIR>/<experiment>.profile.pstats "
+        "plus a top-25 cumulative summary <DIR>/<experiment>.profile.txt "
+        "(see docs/performance.md)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="run the kernel invariant checkers over every simulated "
@@ -487,9 +528,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.experiment == "bench":
-        return _run_bench_gate(args)
+        return _maybe_profile(args, "bench", lambda: _run_bench_gate(args))
     if args.experiment == "introspect":
-        return _run_introspect(args)
+        return _maybe_profile(args, "introspect", lambda: _run_introspect(args))
     names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
     observing = (
         args.json is not None
@@ -509,11 +550,17 @@ def main(argv: list[str] | None = None) -> int:
                     from ..obs import record_tracepoints
 
                     with record_tracepoints() as recorder:
-                        results = _RUNNERS[name](args.full)
+                        results = _maybe_profile(
+                            args, name, lambda: _RUNNERS[name](args.full)
+                        )
                 else:
-                    results = _RUNNERS[name](args.full)
+                    results = _maybe_profile(
+                        args, name, lambda: _RUNNERS[name](args.full)
+                    )
         else:
-            obs, results = None, _RUNNERS[name](args.full)
+            obs, results = None, _maybe_profile(
+                args, name, lambda: _RUNNERS[name](args.full)
+            )
         for result in results:
             print(result.render())
             print()

@@ -100,6 +100,23 @@ class Machine:
         profile, matching the paper)."""
         return self.cost.numa_factor(self.hops(src_node, dst_node))
 
+    def numa_factor_row(self, src_node: int) -> tuple[float, ...]:
+        """:meth:`numa_factor` from ``src_node`` to every node, cached.
+
+        The vectorized access-cost path weights a page-count histogram
+        against this row on every touch, so the row is computed once
+        per source node per machine instance.
+        """
+        cache = getattr(self, "_factor_rows", None)
+        if cache is None:
+            cache = self._factor_rows = {}
+        row = cache.get(src_node)
+        if row is None:
+            row = cache[src_node] = tuple(
+                self.numa_factor(src_node, dst) for dst in range(self.num_nodes)
+            )
+        return row
+
     def distance_matrix(self) -> list[list[int]]:
         """SLIT-style distance matrix (10 local, 16/22 remote)."""
         return self.interconnect.distance_matrix()

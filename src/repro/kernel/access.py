@@ -6,18 +6,25 @@ valid pages (NUMA-factor-aware, vectorized per node), and enters the
 fault path for invalid ones — which is where first-touch allocation,
 kernel next-touch migration and the user-space SIGSEGV scheme all
 happen, exactly as a real load/store stream would trigger them.
+
+Classification is *windowed*: each loop iteration inspects at most
+:data:`_WINDOW` PTEs ahead instead of re-slicing the whole remaining
+range, so a range of N pages costs O(N) array work rather than O(N²).
+Run lengths computed through :func:`_run_scan` are exact prefix
+lengths, so every charge and every fault batch is identical to what
+the unwindowed walk produced.
 """
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import Errno, SegmentationFault, SimulationError, SyscallError
 from ..util.units import PAGE_SHIFT, PAGE_SIZE
 from .core import Kernel
-from .fault import demand_zero_batch, handle_fault, nt_fault_batch
+from .fault import demand_zero_batch, demand_zero_run, handle_fault, nt_fault_batch
 from .pagetable import PTE_NEXTTOUCH, PTE_PRESENT, PTE_WRITE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,19 +36,52 @@ __all__ = ["touch_range", "touch_pages", "memcpy_range", "write_bytes", "read_by
 #: signal handler would otherwise loop forever).
 _MAX_RETRIES = 16
 
+#: PTE-classification window: the walk looks at most this many pages
+#: ahead per step, bounding per-iteration array work.
+_WINDOW = 4096
+
 
 def _access_cost_us(
     kernel: Kernel, thread_node: int, nodes: np.ndarray, bytes_per_page: float
 ) -> float:
-    """Vectorized access time for resident pages grouped by node."""
+    """Vectorized access time for resident pages grouped by node.
+
+    A bincount-weighted sum against the cached per-source NUMA-factor
+    row. Terms are accumulated in ascending node order with the same
+    per-node expression the ``np.unique`` implementation used, so the
+    result is bit-identical while skipping the O(n log n) sort.
+    """
     if nodes.size == 0:
         return 0.0
-    cost = kernel.cost
+    counts = np.bincount(nodes, minlength=kernel.machine.num_nodes)
+    row = kernel.machine.numa_factor_row(thread_node)
+    bw = kernel.cost.local_stream_bw
     total = 0.0
-    for node, count in zip(*np.unique(nodes, return_counts=True)):
-        factor = kernel.machine.numa_factor(thread_node, int(node))
-        total += count * bytes_per_page * factor / cost.local_stream_bw
+    for node in np.flatnonzero(counts):
+        total += counts[node] * bytes_per_page * row[node] / bw
     return total
+
+
+def _run_scan(
+    idx: int, stop: int, cap: int, test: Callable[[int, int], np.ndarray]
+) -> int:
+    """Exact prefix length of ``test`` over ``[idx, min(stop, idx+cap))``.
+
+    ``test(lo, hi)`` returns the boolean mask for that page window.
+    Scanning proceeds in :data:`_WINDOW`-sized chunks, so a short run
+    near the cursor never pays for the whole remaining range.
+    """
+    limit = min(stop, idx + cap)
+    n = 0
+    while idx + n < limit:
+        lo = idx + n
+        hi = min(limit, lo + _WINDOW)
+        mask = test(lo, hi)
+        r = int(np.argmin(mask)) if not mask.all() else int(mask.size)
+        n += r
+        if r < hi - lo:
+            break
+    return n
 
 
 def touch_range(
@@ -82,12 +122,15 @@ def touch_range(
             yield from handle_fault(kernel, thread, pos, write)
             continue
         vma, idx = resolved
+        pt = vma.pt
         stop = min(vma.npages, ((end - 1 - vma.start) >> PAGE_SHIFT) + 1)
-        flags = vma.pt.flags[idx:stop]
-        ok = (flags & need_bits) == need_bits
-        if ok[0]:
-            run = int(np.argmin(ok)) if not ok.all() else int(ok.size)
-            nodes = vma.pt.node[idx : idx + run]
+        span = stop - idx
+        first = int(pt.flags[idx])
+        if first & need_bits == need_bits:
+            run = _run_scan(
+                idx, stop, span, lambda lo, hi: (pt.flags[lo:hi] & need_bits) == need_bits
+            )
+            nodes = pt.node[idx : idx + run]
             thread_node = kernel.machine.node_of_core(thread.core)
             cost = _access_cost_us(kernel, thread_node, np.asarray(nodes), bpp)
             if cost > 0:
@@ -98,21 +141,29 @@ def touch_range(
         # First page needs a fault. Batch consecutive next-touch or
         # consecutive unpopulated (first-touch) pages; swapped pages
         # take the precise per-page path (they need disk I/O anyway).
-        nt = (flags & PTE_NEXTTOUCH) != 0
-        unpop = vma.pt.frame[idx:stop] < 0
-        swap_table = getattr(vma.pt, "_swap_slots", None)
-        if swap_table is not None:
-            unpop = unpop & (swap_table[idx:stop] < 0)
-        if batch > 1 and nt[0]:
-            run = int(np.argmin(nt)) if not nt.all() else int(nt.size)
-            run = min(run, batch)
+        swap_table = getattr(pt, "_swap_slots", None)
+        nt0 = bool(first & PTE_NEXTTOUCH)
+        unpop0 = (
+            not nt0
+            and int(pt.frame[idx]) < 0
+            and (swap_table is None or int(swap_table[idx]) < 0)
+        )
+
+        def _fresh(lo: int, hi: int) -> np.ndarray:
+            m = (pt.frame[lo:hi] < 0) & ((pt.flags[lo:hi] & PTE_NEXTTOUCH) == 0)
+            if swap_table is not None:
+                m &= swap_table[lo:hi] < 0
+            return m
+
+        if batch > 1 and nt0:
+            run = _run_scan(
+                idx, stop, batch, lambda lo, hi: (pt.flags[lo:hi] & PTE_NEXTTOUCH) != 0
+            )
             yield from nt_fault_batch(
                 kernel, thread, vma, np.arange(idx, idx + run, dtype=np.int64)
             )
-        elif batch > 1 and unpop[0] and not nt[0]:
-            fresh = unpop & ~nt
-            run = int(np.argmin(fresh)) if not fresh.all() else int(fresh.size)
-            run = min(run, batch)
+        elif batch > 1 and unpop0:
+            run = _run_scan(idx, stop, batch, _fresh)
             idx_run = np.arange(idx, idx + run, dtype=np.int64)
             if getattr(vma, "_file", None) is not None:
                 from .files import file_fault_batch
@@ -121,6 +172,21 @@ def touch_range(
             else:
                 yield from demand_zero_batch(kernel, thread, vma, idx_run)
         else:
+            if unpop0 and getattr(vma, "_file", None) is None:
+                # Per-page (batch=1) first-touch storm: replay the whole
+                # run of demand-zero faults inline when the turbo gate
+                # holds. ``turbo`` covers the faults plus the access
+                # charges of all but the last faulted page (whose access
+                # merges with the following valid run, exactly like the
+                # per-page walk); the loop re-enters at that page.
+                run = _run_scan(idx, stop, span, _fresh)
+                turbo = demand_zero_run(kernel, thread, vma, idx, run, bpp, tag)
+                if turbo is not None:
+                    done, event = turbo
+                    yield event
+                    pos = vma.addr_of_page(idx) + (done << PAGE_SHIFT)
+                    retries = 0
+                    continue
             retries += 1
             if retries > _MAX_RETRIES:
                 raise SegmentationFault(pos, write, "fault retry limit exceeded")
@@ -228,8 +294,9 @@ def _node_runs(addr_space, addr: int, nbytes: int) -> list[tuple[int, int]]:
         nodes = vma.pt.node[first:stop]
         if np.any(nodes < 0):
             raise SimulationError("memcpy over non-resident pages")
-        for node, count in zip(*np.unique(nodes, return_counts=True)):
-            runs.append((int(node), int(count) * PAGE_SIZE))
+        counts = np.bincount(nodes)
+        for node in np.flatnonzero(counts):
+            runs.append((int(node), int(counts[node]) * PAGE_SIZE))
     return runs
 
 

@@ -12,6 +12,7 @@ simulated thread (``yield from kernel.tlb_shootdown(...)``).
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from typing import Callable, Optional
 
@@ -20,6 +21,7 @@ import numpy as np
 from ..errors import OutOfMemory, SimulationError
 from ..hardware.interconnect import LinkFabric
 from ..hardware.topology import Machine
+from ..obs import tracepoints
 from ..sim.engine import Environment, Event
 from ..sim.resources import BandwidthResource, Mutex, RwLock
 from ..util.units import PAGE_SIZE
@@ -131,6 +133,13 @@ class Kernel:
         self.files: list = []
         self._next_pid = 1
         self.processes: list[SimProcess] = []
+        #: Wall-clock fast paths (turbo faults, merged charges) are on
+        #: by default; ``REPRO_SLOW_PATH=1`` in the environment — or
+        #: setting :attr:`force_slow_path` on an instance — forces the
+        #: per-page/per-charge reference paths (the equivalence suite
+        #: diffs the two). Simulated results are identical either way.
+        self._fastpath_enabled = os.environ.get("REPRO_SLOW_PATH", "") not in ("1", "true", "yes")
+        self.force_slow_path = False
 
     # ------------------------------------------------------------ processes --
     def create_process(self, name: str = "", policy: Optional[MemPolicy] = None) -> "SimProcess":
@@ -171,6 +180,44 @@ class Kernel:
         """
         self.ledger.add(tag, duration_us)
         return self.env.timeout(duration_us)
+
+    def turbo_ok(self) -> bool:
+        """Whether the wall-clock fast paths may engage right now.
+
+        The load-bearing condition is ``env.idle``: with nothing else
+        scheduled, no other process can run — or observe intermediate
+        state — before the fast path schedules its own completion, so
+        replaying a multi-event sequence inline is indistinguishable
+        from stepping through it. The remaining checks keep every
+        observer (tracer-sampled ledger, tracepoint recorders, debug
+        invariant sweeps) on the reference path, where per-event
+        timestamps still exist.
+        """
+        return (
+            self._fastpath_enabled
+            and not self.force_slow_path
+            and not self.debug_checks
+            and self.env.idle
+            and not tracepoints.tracepoints_enabled()
+            and "add" not in self.ledger.__dict__  # Tracer attached
+        )
+
+    def charge_run(self, charges) -> Event:
+        """One merged timeout event for a run of consecutive charges.
+
+        ``charges`` is an iterable of ``(tag, duration_us)``. Ledger
+        entries and the completion instant are computed exactly as the
+        per-charge path would (per-entry ledger adds, sequential float
+        additions for the deadline), so simulated results stay
+        bit-identical — only the number of engine events drops. Callers
+        must hold the :meth:`turbo_ok` gate.
+        """
+        t = self.env.now
+        add = self.ledger.add
+        for tag, duration_us in charges:
+            add(tag, duration_us)
+            t = t + duration_us
+        return self.env.timeout_at(t)
 
     # ------------------------------------------------------------ frames -----
     def alloc_on(self, node: int, count: int) -> np.ndarray:
@@ -330,12 +377,23 @@ class Kernel:
         Equivalent to ``count`` calls to :meth:`tlb_shootdown` in one
         charge (used by the per-page-flushing migration loop).
         """
+        return self.charge(tag, self.tlb_shootdown_cost(process, initiator_core, count))
+
+    def tlb_shootdown_cost(
+        self, process: "SimProcess", initiator_core: int, count: int
+    ) -> float:
+        """Stat bumps plus the cost of ``count`` shootdowns, *uncharged*.
+
+        Split out so the coalesced-charge migration path can fold the
+        shootdown cost into a merged :meth:`charge_run` while keeping
+        the counters and the float expression identical.
+        """
         others = process.running_cores_except(initiator_core)
         self.stats.tlb_shootdowns += count
         self.stats.tlb_ipis += count * len(others)
         self.stats.tlb_local_flushes += count
         cost = self.cost.tlb_flush_local_us + self.cost.tlb_shootdown_per_cpu_us * len(others)
-        return self.charge(tag, cost * count)
+        return cost * count
 
     # ------------------------------------------------------------ queries ----
     def node_free_pages(self) -> list[int]:

@@ -84,9 +84,10 @@ def sys_fork(kernel: Kernel, thread: "SimThread"):
             child.addr_space._insert(clone)
         child.addr_space._next_addr = parent.addr_space._next_addr
         kernel.stats.forks += 1
-        tracepoints.emit(
-            "fork:dup", kernel, pid=parent.pid, child=child.pid, ptes=copied_ptes
-        )
+        if tracepoints.active(kernel):
+            tracepoints.emit(
+                "fork:dup", kernel, pid=parent.pid, child=child.pid, ptes=copied_ptes
+            )
         yield kernel.charge(
             "fork", kernel.cost.mmap_base_us * 4 + 0.02 * copied_ptes
         )
@@ -120,15 +121,16 @@ def cow_fault(kernel: Kernel, thread: "SimThread", vma: Vma, idx: int):
             vma.pt.flags[idx] = np.uint16(
                 (flags & ~PTE_COW) | PTE_PRESENT | PTE_WRITE
             )
-            tracepoints.emit(
-                "cow:break",
-                kernel,
-                pid=process.pid,
-                vma=vma.start,
-                page=idx,
-                copied=False,
-                node=int(vma.pt.node[idx]),
-            )
+            if tracepoints.active(kernel):
+                tracepoints.emit(
+                    "cow:break",
+                    kernel,
+                    pid=process.pid,
+                    vma=vma.start,
+                    page=idx,
+                    copied=False,
+                    node=int(vma.pt.node[idx]),
+                )
             yield kernel.charge("cow.reuse", kernel.cost.nt_fault_control_us)
             return
         src_node = int(vma.pt.node[idx])
@@ -143,15 +145,16 @@ def cow_fault(kernel: Kernel, thread: "SimThread", vma: Vma, idx: int):
         vma.pt.node[idx] = dest
         vma.pt.flags[idx] = np.uint16((flags & ~PTE_COW) | PTE_PRESENT | PTE_WRITE)
         kernel.release_frames(np.asarray([frame]))
-        tracepoints.emit(
-            "cow:break",
-            kernel,
-            pid=process.pid,
-            vma=vma.start,
-            page=idx,
-            copied=True,
-            node=dest,
-        )
+        if tracepoints.active(kernel):
+            tracepoints.emit(
+                "cow:break",
+                kernel,
+                pid=process.pid,
+                vma=vma.start,
+                page=idx,
+                copied=True,
+                node=dest,
+            )
         yield kernel.charge("cow.control", kernel.cost.nt_fault_control_us)
         yield kernel.copy_pages_event(src_node, dest, float(PAGE_SIZE), process)
         kernel.ledger.add("cow.copy", 0.0)

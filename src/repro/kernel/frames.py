@@ -98,6 +98,37 @@ class FrameAllocator:
         self.total_allocs += count
         return picked + self._base
 
+    def alloc_seq(self, count: int) -> np.ndarray:
+        """Allocate ``count`` frames with ids identical to ``count``
+        sequential :meth:`alloc` calls.
+
+        :meth:`alloc_many` drains the free list in *list* order;
+        repeated :meth:`alloc` pops it LIFO. The turbo fault path
+        replays per-page allocation in bulk, so it needs the per-call
+        order (reversed free-list tail, then bump range) to keep frame
+        ids — and therefore every downstream placement comparison —
+        bit-identical with the per-page path. Allocator end state
+        (free list, bitmap, bump pointer, counters) matches both ways.
+        """
+        if count < 0:
+            raise ValueError("negative count")
+        if count > self.free:
+            raise OutOfMemory(f"node {self.node_id}: {count} frames requested, {self.free} free")
+        from_free = min(count, len(self._free))
+        picked = np.empty(count, dtype=np.int64)
+        if from_free:
+            tail = self._free[len(self._free) - from_free :]
+            tail.reverse()
+            picked[:from_free] = tail
+            del self._free[len(self._free) - from_free :]
+        fresh = count - from_free
+        if fresh:
+            picked[from_free:] = np.arange(self._bump, self._bump + fresh, dtype=np.int64)
+            self._bump += fresh
+        self._allocated[picked] = True
+        self.total_allocs += count
+        return picked + self._base
+
     def free_frame(self, frame: int) -> None:
         """Return one frame to the pool; detects double/foreign frees."""
         self.free_many(np.asarray([frame], dtype=np.int64))

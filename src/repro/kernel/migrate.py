@@ -86,20 +86,37 @@ def migrate_vma_pages(
             vma.pt.node[chunk] = dest_node
             # --- end of atomic section; now pay for it.
             t0 = kernel.env.now
-            yield kernel.charge(f"{tag}.control", control_us * k)
-            # 2.6.27 migration flushes per page (no batching of the
-            # unmap flushes): k shootdowns, each IPI-ing every other
-            # CPU running this mm — the Figure 7 sync-scaling limiter.
-            yield kernel.tlb_shootdown_batch(process, thread.core, k, tag=f"{tag}.control")
-            tracepoints.emit(
-                "migrate:phase_lookup",
-                kernel,
-                tag=tag,
-                pid=process.pid,
-                vma=vma.start,
-                pages=k,
-                dur_us=kernel.env.now - t0,
-            )
+            if kernel.turbo_ok():
+                # Both charges land on the same ledger tag with no
+                # observer between them: book them separately but
+                # sleep once (identical float fold, one engine event).
+                yield kernel.charge_run(
+                    (
+                        (f"{tag}.control", control_us * k),
+                        (
+                            f"{tag}.control",
+                            kernel.tlb_shootdown_cost(process, thread.core, k),
+                        ),
+                    )
+                )
+            else:
+                yield kernel.charge(f"{tag}.control", control_us * k)
+                # 2.6.27 migration flushes per page (no batching of the
+                # unmap flushes): k shootdowns, each IPI-ing every other
+                # CPU running this mm — the Figure 7 sync-scaling limiter.
+                yield kernel.tlb_shootdown_batch(
+                    process, thread.core, k, tag=f"{tag}.control"
+                )
+            if tracepoints.active(kernel):
+                tracepoints.emit(
+                    "migrate:phase_lookup",
+                    kernel,
+                    tag=tag,
+                    pid=process.pid,
+                    vma=vma.start,
+                    pages=k,
+                    dur_us=kernel.env.now - t0,
+                )
             # The alloc span includes the lru_lock acquisition: waiting
             # for the destination zone lock is part of what the phase
             # costs, which is how the profiler makes Figure 7's
@@ -111,16 +128,17 @@ def migrate_vma_pages(
                 yield kernel.charge(f"{tag}.control", cost.lru_lock_hold_us / 2 * k)
             finally:
                 lru.release()
-            tracepoints.emit(
-                "migrate:phase_alloc",
-                kernel,
-                tag=tag,
-                pid=process.pid,
-                vma=vma.start,
-                dest=dest_node,
-                pages=k,
-                dur_us=kernel.env.now - t0,
-            )
+            if tracepoints.active(kernel):
+                tracepoints.emit(
+                    "migrate:phase_alloc",
+                    kernel,
+                    tag=tag,
+                    pid=process.pid,
+                    vma=vma.start,
+                    dest=dest_node,
+                    pages=k,
+                    dur_us=kernel.env.now - t0,
+                )
         finally:
             if anon_vma is not None:
                 anon_vma.release()
@@ -130,17 +148,18 @@ def migrate_vma_pages(
             count = int(np.count_nonzero(src_nodes == src))
             ts = kernel.env.now
             yield kernel.copy_pages_event(int(src), dest_node, float(count) * PAGE_SIZE, process)
-            tracepoints.emit(
-                "migrate:phase_copy",
-                kernel,
-                tag=tag,
-                pid=process.pid,
-                vma=vma.start,
-                src=int(src),
-                dest=dest_node,
-                pages=count,
-                dur_us=kernel.env.now - ts,
-            )
+            if tracepoints.active(kernel):
+                tracepoints.emit(
+                    "migrate:phase_copy",
+                    kernel,
+                    tag=tag,
+                    pid=process.pid,
+                    vma=vma.start,
+                    src=int(src),
+                    dest=dest_node,
+                    pages=count,
+                    dur_us=kernel.env.now - ts,
+                )
         kernel.ledger.add(f"{tag}.copy", kernel.env.now - t0)
         # Put the old frames back.
         t0 = kernel.env.now
@@ -155,15 +174,16 @@ def migrate_vma_pages(
                 )
             finally:
                 lru.release()
-        tracepoints.emit(
-            "migrate:phase_remap",
-            kernel,
-            tag=tag,
-            pid=process.pid,
-            vma=vma.start,
-            pages=k,
-            dur_us=kernel.env.now - t0,
-        )
+        if tracepoints.active(kernel):
+            tracepoints.emit(
+                "migrate:phase_remap",
+                kernel,
+                tag=tag,
+                pid=process.pid,
+                vma=vma.start,
+                pages=k,
+                dur_us=kernel.env.now - t0,
+            )
         moved += k
         kernel.stats.pages_migrated += k
     if kernel.debug_checks:

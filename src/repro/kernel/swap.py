@@ -168,15 +168,16 @@ def sys_swap_out(kernel: Kernel, thread: "SimThread", addr: int, nbytes: int):
             # Write to disk, then tear down the mappings.
             yield device.io_event(int(idxs.size))
             kernel.ledger.add("swap.out", 0.0)
-            for src in np.unique(src_nodes):
-                tracepoints.emit(
-                    "swap:out",
-                    kernel,
-                    pid=process.pid,
-                    vma=vma.start,
-                    node=int(src),
-                    pages=int(np.count_nonzero(src_nodes == src)),
-                )
+            if tracepoints.active(kernel):
+                for src in np.unique(src_nodes):
+                    tracepoints.emit(
+                        "swap:out",
+                        kernel,
+                        pid=process.pid,
+                        vma=vma.start,
+                        node=int(src),
+                        pages=int(np.count_nonzero(src_nodes == src)),
+                    )
             vma.pt.unmap_pages(idxs)
             table[idxs] = slots
             kernel.release_frames(frames)
@@ -221,9 +222,10 @@ def swap_in_batch(kernel: Kernel, thread: "SimThread", vma: Vma, idxs: np.ndarra
         table[idxs] = -1
         device.free_slots(slots)
         device.pages_in += k
-        tracepoints.emit(
-            "swap:in", kernel, pid=process.pid, vma=vma.start, node=int(dest), pages=k
-        )
+        if tracepoints.active(kernel):
+            tracepoints.emit(
+                "swap:in", kernel, pid=process.pid, vma=vma.start, node=int(dest), pages=k
+            )
         yield kernel.charge("swap.in.fault", kernel.cost.fault_entry_us * k)
         t0 = kernel.env.now
         yield device.io_event(k)

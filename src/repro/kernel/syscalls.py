@@ -239,9 +239,10 @@ def sys_move_pages(
     process = target if target is not None else thread.process
     cost = kernel.cost
     status = np.empty(n, dtype=np.int64)
-    tracepoints.emit(
-        "move_pages:batch", kernel, pid=process.pid, pages=n, patched=bool(patched)
-    )
+    if tracepoints.active(kernel):
+        tracepoints.emit(
+            "move_pages:batch", kernel, pid=process.pid, pages=n, patched=bool(patched)
+        )
     # Fixed overhead: syscall entry + argument copyin, then the
     # migrate_prep (lru_add_drain_all) which serializes callers.
     yield kernel.charge("move_pages.base", cost.move_pages_base_us - cost.migrate_prep_us)
@@ -281,15 +282,16 @@ def sys_move_pages(
                 yield kernel.charge(
                     "move_pages.scan", (j - i) * n * cost.unpatched_scan_us_per_entry
                 )
-                tracepoints.emit(
-                    "migrate:phase_lookup",
-                    kernel,
-                    tag="move_pages.scan",
-                    pid=process.pid,
-                    vma=vma.start,
-                    pages=j - i,
-                    dur_us=kernel.env.now - t0,
-                )
+                if tracepoints.active(kernel):
+                    tracepoints.emit(
+                        "migrate:phase_lookup",
+                        kernel,
+                        tag="move_pages.scan",
+                        pid=process.pid,
+                        vma=vma.start,
+                        pages=j - i,
+                        dur_us=kernel.env.now - t0,
+                    )
             populated = vma.pt.frame[run] >= 0
             status[i:j] = np.where(populated, dest, -int(Errno.ENOENT))
             movable = run[populated]

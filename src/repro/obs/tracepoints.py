@@ -44,6 +44,7 @@ __all__ = [
     "TracepointRecorder",
     "TRACEPOINTS",
     "emit",
+    "active",
     "record_tracepoints",
     "current_recorder",
     "tracepoints_enabled",
@@ -246,6 +247,18 @@ def current_recorder() -> Optional[TracepointRecorder]:
 
 def tracepoints_enabled() -> bool:
     """Whether a recorder is currently attached."""
+    return bool(_STACK)
+
+
+def active(kernel) -> bool:
+    """Cheap call-site guard: True only while a recorder is attached.
+
+    Hot paths check ``tracepoints.active(kernel)`` before building
+    ``emit``'s keyword arguments, so the disabled path costs one
+    attribute lookup and one call — no kwargs dict, no field
+    formatting, no recorder work. (``kernel`` is accepted so future
+    per-kernel filtering keeps the call-site contract.)
+    """
     return bool(_STACK)
 
 

@@ -24,6 +24,7 @@ program produces the same trace on every run.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SimulationError
@@ -315,6 +316,14 @@ class Environment:
     def __init__(self, initial_time: float = 0.0) -> None:
         self.now: float = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
+        #: Same-instant fast lane: zero-delay events (succeed/fail,
+        #: ``timeout(0)``, process bootstraps) skip the heap entirely.
+        #: Entries are appended with the *current* clock value and an
+        #: increasing sequence number, so the deque is always sorted by
+        #: ``(time, seq)`` and :meth:`step` only has to compare its head
+        #: against the heap's — the documented FIFO tie-break order is
+        #: preserved exactly.
+        self._ready: deque[tuple[float, int, Event]] = deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
         #: Total events processed — useful for performance reporting.
@@ -328,6 +337,22 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that triggers ``delay`` microseconds from now."""
         return Timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """An event that triggers at absolute time ``when``.
+
+        The coalesced-charge fast path computes merged completion times
+        by sequential addition (bit-identical to chained timeouts) and
+        schedules the single merged event here.
+        """
+        if when < self.now - 1e-9:
+            raise SimulationError(f"timeout_at({when}) is in the past (now={self.now})")
+        event = Event(self)
+        event._value = value
+        event._state = _TRIGGERED
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, event))
+        return event
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register a generator as a running process."""
@@ -346,16 +371,52 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def idle(self) -> bool:
+        """True when nothing is scheduled.
+
+        While a running callback observes ``idle``, no other process can
+        run (or observe intermediate state) before whatever that
+        callback schedules next — the gate every turbo fast path checks
+        before replaying multi-event sequences inline.
+        """
+        return not self._queue and not self._ready
+
     # -- scheduling --------------------------------------------------------
     def _push(self, event: Event, delay: float) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        if delay == 0.0:
+            self._ready.append((self.now, self._seq, event))
+        else:
+            heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def _pop_next(self) -> tuple[float, int, Event]:
+        ready = self._ready
+        queue = self._queue
+        if ready:
+            # Unique seq numbers mean the tuple compare never reaches
+            # the Event and totally orders the two heads.
+            if queue and queue[0] < ready[0]:
+                return heapq.heappop(queue)
+            return ready.popleft()
+        if queue:
+            return heapq.heappop(queue)
+        raise SimulationError("step() on empty event queue")
+
+    def _peek_time(self) -> Optional[float]:
+        ready = self._ready
+        queue = self._queue
+        if ready:
+            if queue and queue[0] < ready[0]:
+                return queue[0][0]
+            return ready[0][0]
+        if queue:
+            return queue[0][0]
+        return None
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
-            raise SimulationError("step() on empty event queue")
-        t, _seq, event = heapq.heappop(self._queue)
+        t, _seq, event = self._pop_next()
         if t < self.now - 1e-9:
             raise SimulationError("time went backwards")
         self.now = max(self.now, t)
@@ -373,18 +434,21 @@ class Environment:
         if isinstance(until, Event):
             target = until
             while not target.processed:
-                if not self._queue:
+                if not self._queue and not self._ready:
                     raise SimulationError(
                         "deadlock: event queue drained before target event triggered"
                     )
                 self.step()
             return target.value
         if until is None:
-            while self._queue:
+            while self._queue or self._ready:
                 self.step()
             return None
         horizon = float(until)
-        while self._queue and self._queue[0][0] <= horizon:
+        while True:
+            t = self._peek_time()
+            if t is None or t > horizon:
+                break
             self.step()
         self.now = max(self.now, horizon)
         return None

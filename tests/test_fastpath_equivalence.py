@@ -1,0 +1,318 @@
+"""Fast-path equivalence: the turbo paths must be bit-identical.
+
+The wall-clock fast paths (see ``docs/performance.md``) carry a hard
+contract: with no observer attached, the vectorized page walks, the
+merged charge events and the demand-zero turbo commit must leave the
+simulation in EXACTLY the state the per-page slow path produces —
+same simulated clock (bit-for-bit float equality), same ledger totals
+and counts, same page tables, same NUMA counters, same allocator and
+lock statistics.
+
+This suite replays seeded fuzzer workloads — the same generator
+``make fuzz`` uses, so mprotect / madvise / fork / swap / migration
+interleavings are all covered — through two fresh systems: one with
+the fast paths enabled (the default), one with
+``kernel.force_slow_path = True``. The canonical states are then
+diffed field by field. ``events_processed`` is deliberately outside
+the comparison: event *coalescing* is the point of the fast path, so
+only observable state and the clock must agree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.check.fuzzer import generate_ops
+from repro.check.harness import fuzz_machine
+from repro.errors import SegmentationFault, SyscallError
+from repro.kernel.mempolicy import MemPolicy
+from repro.kernel.swap import SwapDevice, attach_swap
+from repro.kernel.syscalls import Madvise
+from repro.kernel.vma import PROT_RW
+from repro.system import System
+from repro.util.units import PAGE_SHIFT, PAGE_SIZE
+
+#: Seeded workloads replayed by the equivalence sweep. 52 seeds of 40
+#: ops each comfortably covers every op kind (asserted below) and both
+#: fault batch shapes (batch 1 / 4 / 512).
+SEEDS = range(1, 53)
+N_OPS = 40
+
+#: Extra seeds replayed with a non-zero per-page access cost, so the
+#: vectorized ``_access_cost_us`` and the turbo access-charge replay
+#: are exercised too (the fuzzer's own touches use bytes_per_page=0).
+ACCESS_SEEDS = range(101, 113)
+
+
+def _lock_stats(stats) -> tuple:
+    return (
+        stats.acquisitions,
+        stats.contended,
+        stats.wait_time,
+        stats.hold_time,
+        stats.max_queue,
+    )
+
+
+class _Executor:
+    """The kernel half of ``DiffHarness``: one op stream, one system.
+
+    No oracle, no invariant sweep — this harness only exists to produce
+    a canonical end state for exact comparison against its twin.
+    """
+
+    def __init__(self, *, slow: bool, bytes_per_page: float = 0.0) -> None:
+        self.system = System(fuzz_machine())
+        self.kernel = self.system.kernel
+        self.kernel.force_slow_path = slow
+        attach_swap(self.kernel, SwapDevice(self.kernel.env, capacity_pages=1 << 14))
+        self.bytes_per_page = bytes_per_page
+        self.procs = {"p0": self.system.create_process("p0")}
+        self.regions: dict[str, tuple[int, int]] = {}
+        self.steps = 0
+
+    def _resolves(self, op: dict) -> bool:
+        if op.get("proc") not in self.procs:
+            return False
+        kind = op["kind"]
+        if "region" in op and kind != "mmap" and op["region"] not in self.regions:
+            return False
+        if kind == "fork" and op.get("child") in self.procs:
+            return False
+        return True
+
+    def _range(self, op: dict) -> tuple[int, int]:
+        start, npages = self.regions[op["region"]]
+        lo = int(op.get("lo", 0))
+        hi = int(op.get("hi", npages))
+        return start + (lo << PAGE_SHIFT), (hi - lo) << PAGE_SHIFT
+
+    def run_op(self, op: dict) -> Optional[tuple]:
+        if not self._resolves(op):
+            return None
+        self.steps += 1
+        kind = op["kind"]
+        proc = self.procs[op["proc"]]
+        if "region" in op and kind != "mmap":
+            addr, nbytes = self._range(op)
+        bpp = self.bytes_per_page
+
+        def body(t):
+            if kind == "mmap":
+                result = yield from t.mmap(
+                    int(op["npages"]) * PAGE_SIZE,
+                    int(op["prot"]),
+                    shared=bool(op.get("shared", False)),
+                )
+            elif kind == "munmap":
+                result = yield from t.munmap(addr, nbytes)
+            elif kind == "mprotect":
+                result = yield from t.mprotect(addr, nbytes, int(op["prot"]))
+            elif kind == "madv_nt":
+                result = yield from t.madvise(addr, nbytes, Madvise.NEXTTOUCH)
+            elif kind == "madv_dontneed":
+                result = yield from t.madvise(addr, nbytes, Madvise.DONTNEED)
+            elif kind == "touch":
+                result = yield from t.touch(
+                    addr,
+                    nbytes,
+                    write=bool(op.get("write", True)),
+                    batch=int(op.get("batch", 1)),
+                    bytes_per_page=bpp,
+                )
+            elif kind == "move_pages":
+                result = yield from t.move_range(addr, nbytes, int(op["dest"]))
+            elif kind == "migrate_pages":
+                result = yield from t.migrate_pages([int(op["src"])], [int(op["dst"])])
+            elif kind == "fork":
+                result = yield from t.fork()
+            elif kind == "swap_out":
+                result = yield from t.swap_out(addr, nbytes)
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
+            return result
+
+        thread = self.system.spawn(
+            proc, int(op.get("core", 0)), body, name=f"eq.{self.steps}"
+        )
+        try:
+            value = self.system.run_to(thread.join())
+        except SyscallError as exc:
+            return ("err", exc.errno.name)
+        except SegmentationFault as exc:
+            return ("segv", int(exc.address))
+        if kind == "fork":
+            self.procs[op["child"]] = value
+            return ("ok", op["child"])
+        if kind == "mmap":
+            self.regions[op["region"]] = (int(value), int(op["npages"]))
+            return ("ok", int(value))
+        if hasattr(value, "tolist"):
+            return ("ok", tuple(int(v) for v in value))
+        return ("ok", value)
+
+    def canonical(self) -> dict:
+        k = self.kernel
+        state = {
+            "now": k.env.now,
+            "ledger_totals": dict(k.ledger.totals),
+            "ledger_counts": dict(k.ledger.counts),
+            "stats": dict(vars(k.stats)),
+            "numa_hit": list(k.numastat.numa_hit),
+            "numa_miss": list(k.numastat.numa_miss),
+            "numa_foreign": list(k.numastat.numa_foreign),
+            "interleave_hit": list(k.numastat.interleave_hit),
+            "frame_refs": dict(k.frame_refs),
+            "allocators": [
+                (a.used, a.free, a.total_allocs, a._bump, list(a._free))
+                for a in k.allocators
+            ],
+            "lru": [_lock_stats(lock.stats) for lock in k.lru_locks],
+            "swap_used": k.swap.used if getattr(k, "swap", None) is not None else 0,
+        }
+        procs = {}
+        for name, proc in sorted(self.procs.items()):
+            vmas = []
+            for vma in proc.addr_space.vmas:
+                swap = getattr(vma.pt, "_swap_slots", None)
+                vmas.append(
+                    {
+                        "start": vma.start,
+                        "prot": int(vma.prot),
+                        "frame": vma.pt.frame.tolist(),
+                        "node": vma.pt.node.tolist(),
+                        "flags": vma.pt.flags.tolist(),
+                        "swap": None if swap is None else swap.tolist(),
+                    }
+                )
+            procs[name] = {
+                "vmas": vmas,
+                "mmap_sem": _lock_stats(proc.mmap_sem.stats),
+                "ptls": {
+                    key: _lock_stats(lock.stats)
+                    for key, lock in sorted(proc._ptls.items())
+                },
+            }
+        state["procs"] = procs
+        return state
+
+
+def _diff(a, b, path="") -> list[str]:
+    """Recursive exact diff; floats must match bit for bit."""
+    out: list[str] = []
+    if type(a) is not type(b):
+        return [f"{path}: type {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b), key=repr):
+            if key not in a or key not in b:
+                out.append(f"{path}.{key}: only on one side")
+            else:
+                out.extend(_diff(a[key], b[key], f"{path}.{key}"))
+    elif isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} != {len(b)}")
+        else:
+            for i, (x, y) in enumerate(zip(a, b)):
+                out.extend(_diff(x, y, f"{path}[{i}]"))
+    elif a != b:
+        out.append(f"{path}: fast {a!r} != slow {b!r}")
+    return out
+
+
+def _replay(seed: int, *, slow: bool, bytes_per_page: float = 0.0):
+    ex = _Executor(slow=slow, bytes_per_page=bytes_per_page)
+    outcomes = [ex.run_op(op) for op in generate_ops(seed, N_OPS)]
+    return outcomes, ex.canonical()
+
+
+def _assert_equivalent(seed: int, bytes_per_page: float = 0.0) -> None:
+    fast_out, fast = _replay(seed, slow=False, bytes_per_page=bytes_per_page)
+    slow_out, slow = _replay(seed, slow=True, bytes_per_page=bytes_per_page)
+    assert fast_out == slow_out, f"seed {seed}: outcomes diverged"
+    diffs = _diff(fast, slow)
+    assert not diffs, f"seed {seed}:\n" + "\n".join(diffs[:12])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fastpath_matches_slow_path(seed):
+    _assert_equivalent(seed)
+
+
+@pytest.mark.parametrize("seed", ACCESS_SEEDS)
+def test_fastpath_matches_slow_path_with_access_cost(seed):
+    _assert_equivalent(seed, bytes_per_page=float(PAGE_SIZE))
+
+
+def test_corpus_covers_every_op_kind():
+    """The sweep must exercise the whole syscall surface — in
+    particular mprotect and both madvise flavours, which gate the
+    valid-run and next-touch classification in the vectorized walk."""
+    kinds = {op["kind"] for seed in SEEDS for op in generate_ops(seed, N_OPS)}
+    assert kinds >= {
+        "mmap",
+        "touch",
+        "mprotect",
+        "madv_nt",
+        "madv_dontneed",
+        "move_pages",
+        "munmap",
+        "migrate_pages",
+        "fork",
+        "swap_out",
+    }
+
+
+@pytest.mark.parametrize("interleave", [False, True])
+def test_turbo_demand_zero_matches_slow_path(interleave):
+    """Targeted per-page walk: one big touch at batch=1 with a
+    non-zero access cost, under DEFAULT and INTERLEAVE policies
+    (the two allocation shapes the turbo commit implements)."""
+
+    def run(slow: bool) -> dict:
+        ex = _Executor(slow=slow, bytes_per_page=float(PAGE_SIZE))
+        proc = ex.procs["p0"]
+        npages = 1500
+
+        def body(t):
+            addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW)
+            if interleave:
+                yield from t.mbind(
+                    addr, npages * PAGE_SIZE, MemPolicy.interleave(0, 1, 2, 3)
+                )
+            yield from t.touch(
+                addr,
+                npages * PAGE_SIZE,
+                write=True,
+                batch=1,
+                bytes_per_page=float(PAGE_SIZE),
+            )
+            return addr
+
+        thread = ex.system.spawn(proc, 0, body, name="turbo")
+        ex.system.run_to(thread.join())
+        return ex.canonical()
+
+    diffs = _diff(run(False), run(True))
+    assert not diffs, "\n".join(diffs[:12])
+
+
+def test_force_slow_path_disables_turbo():
+    """The escape hatch really does force the per-page walk: the slow
+    side processes strictly more engine events for the same work."""
+
+    def events(slow: bool) -> int:
+        ex = _Executor(slow=slow)
+        proc = ex.procs["p0"]
+
+        def body(t):
+            addr = yield from t.mmap(512 * PAGE_SIZE, PROT_RW)
+            yield from t.touch(addr, 512 * PAGE_SIZE, write=True, batch=1)
+
+        thread = ex.system.spawn(proc, 0, body, name="ev")
+        ex.system.run_to(thread.join())
+        return ex.kernel.env.events_processed
+
+    fast, slow = events(False), events(True)
+    assert fast < slow

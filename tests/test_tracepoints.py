@@ -173,6 +173,27 @@ def test_disabled_mode_records_nothing_during_a_real_workload():
     assert not tracepoints_enabled()
 
 
+def test_disabled_path_never_reaches_emit(monkeypatch):
+    """The hot-path guard (``tracepoints.active``) must keep the
+    disabled path from doing ANY recorder work: no kwargs dict is
+    built and ``emit`` is never even called from the kernel while no
+    recorder is attached."""
+    assert not tracepoints.active(object())
+    calls = []
+
+    def counting_emit(name, kernel, **fields):
+        calls.append(name)
+
+    monkeypatch.setattr(tracepoints, "emit", counting_emit)
+    _run_introspect_workload()  # faults, migrations, swap, fork, cow
+    assert calls == []
+    # ... and with a recorder attached the same workload emits freely.
+    with record_tracepoints() as rec:
+        assert tracepoints.active(object())
+        _run_introspect_workload()
+    assert len(rec) > 20
+
+
 def test_simulated_time_is_identical_with_and_without_tracing():
     """Recording must never perturb the discrete-event clock."""
 

@@ -12,7 +12,9 @@ verifies each against the tree:
    exist;
 3. CLI usage — on lines mentioning ``repro-experiments``, the
    experiment name must be a real CLI choice and every ``--flag`` must
-   be accepted by the parser.
+   be accepted by the parser;
+4. make targets — every backticked ``make <target>`` must name a rule
+   that actually exists in the Makefile.
 
 It additionally holds two docs to their contracts:
 
@@ -50,6 +52,19 @@ DOTTED_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z_0-9]*)+(/v\d+)?")
 PATH_RE = re.compile(r"\b(?:src/)?repro/[A-Za-z_0-9/]+\.py\b")
 CLI_LINE_RE = re.compile(r"repro-experiments\s+([A-Za-z_0-9-]+)")
 FLAG_RE = re.compile(r"--[a-z][a-z-]*")
+# Only backticked invocations count — `make bench` is a promise, while
+# "make sure" in prose is not.
+MAKE_RE = re.compile(r"`make ([a-z][a-z0-9_-]*)`")
+
+
+def make_targets() -> set[str]:
+    """Every rule name defined in the top-level Makefile."""
+    makefile = REPO / "Makefile"
+    if not makefile.exists():
+        return set()
+    return set(
+        re.findall(r"^([A-Za-z0-9_-]+):", makefile.read_text(), re.MULTILINE)
+    )
 
 
 def cli_vocabulary() -> tuple[set[str], set[str]]:
@@ -159,6 +174,7 @@ def check_tracepoint_contract() -> list[str]:
 
 def main() -> int:
     choices, flags = cli_vocabulary()
+    targets = make_targets()
     errors: list[str] = list(check_invariant_contract())
     errors.extend(check_tracepoint_contract())
     for path in DOC_FILES:
@@ -184,6 +200,9 @@ def main() -> int:
                 for flag in FLAG_RE.findall(line):
                     if flag not in flags:
                         errors.append(f"{where}: unknown flag {flag!r}")
+            for target in MAKE_RE.findall(line):
+                if target not in targets:
+                    errors.append(f"{where}: unknown make target {target!r}")
     if errors:
         print(f"docs-check: {len(errors)} broken reference(s)", file=sys.stderr)
         for error in errors:

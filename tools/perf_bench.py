@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Host wall-clock regression gate (``make perf``).
+
+The simulation gate (``make bench``) pins *simulated* throughput; this
+gate pins how long the simulator takes on the *host*, so a change that
+quietly disables the fast paths (``docs/performance.md``) or
+reintroduces a per-page event storm fails CI even though every
+simulated metric is still bit-identical.
+
+Each scenario is timed ``--repeats`` times (median wins — medians shrug
+off one-off scheduler hiccups) with fully pinned inputs:
+
+* ``fig4.sweep_s@262144`` — the Figure 4 throughput sweep at 262144
+  pages (1 GiB), the headline fast-path target;
+* ``fig5.sweep_s@16384``  — the Figure 5 next-touch sweep;
+* ``fig7.sweep_s@8192``   — the Figure 7 sync/lazy scaling sweep at
+  1 and 4 threads;
+* ``fuzz.corpus_s@20x25`` — 20 seeded differential-fuzzer workloads of
+  25 ops each (seeds 1..20), the mixed-syscall shape.
+
+All metrics are seconds: **lower is better**. A metric more than
+``--tolerance`` (default 25 %) above the committed baseline
+(``benchmarks/BENCH_WALL_baseline.json``) is a regression and the
+process exits non-zero. Host timings are noisy across machines — the
+wide default tolerance absorbs same-machine noise only; re-baseline
+with ``--update-baseline`` when moving hardware or after a reviewed
+performance change.
+
+Results land in ``<out>/BENCH_wall.json`` with the same report shape
+as the simulation gate (schema ``repro.bench.wall/v1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Callable
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+SCHEMA = "repro.bench.wall/v1"
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_BASELINE = os.path.join("benchmarks", "BENCH_WALL_baseline.json")
+RESULTS_FILENAME = "BENCH_wall.json"
+
+#: Pinned scenario sizes. fig4's 262144 pages is 1 GiB of 4-KiB pages —
+#: the size the fast-path work is judged against.
+FIG4_PAGES = 262144
+FIG5_PAGES = 16384
+FIG7_PAGES = 8192
+FUZZ_SEEDS = range(1, 21)
+FUZZ_OPS = 25
+
+
+def _fig4() -> None:
+    from repro.experiments import fig4_throughput
+
+    fig4_throughput.run([FIG4_PAGES])
+
+
+def _fig5() -> None:
+    from repro.experiments import fig5_nexttouch
+
+    fig5_nexttouch.run([FIG5_PAGES])
+
+
+def _fig7() -> None:
+    from repro.experiments import fig7_scalability
+
+    fig7_scalability.run([FIG7_PAGES], thread_counts=(1, 4))
+
+
+def _fuzz() -> None:
+    from repro.check.fuzzer import generate_ops, run_ops
+
+    for seed in FUZZ_SEEDS:
+        failure = run_ops(generate_ops(seed, FUZZ_OPS))
+        if failure is not None:  # pragma: no cover - would fail make fuzz too
+            raise SystemExit(f"fuzz corpus seed {seed} failed: {failure.to_json()}")
+
+
+SCENARIOS: dict[str, Callable[[], None]] = {
+    f"fig4.sweep_s@{FIG4_PAGES}": _fig4,
+    f"fig5.sweep_s@{FIG5_PAGES}": _fig5,
+    f"fig7.sweep_s@{FIG7_PAGES}": _fig7,
+    f"fuzz.corpus_s@{len(FUZZ_SEEDS)}x{FUZZ_OPS}": _fuzz,
+}
+
+
+def measure(repeats: int) -> dict[str, float]:
+    """Median-of-``repeats`` wall seconds for every scenario."""
+    metrics: dict[str, float] = {}
+    for name, fn in SCENARIOS.items():
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+        metrics[name] = round(statistics.median(samples), 4)
+    return metrics
+
+
+def compare(metrics: dict, baseline: dict, tolerance: float) -> dict:
+    """Per-metric verdicts; wall seconds, so **lower** is better."""
+    verdicts: dict[str, dict] = {}
+    for name in sorted(set(metrics) | set(baseline)):
+        if name not in baseline:
+            verdicts[name] = {"value": metrics[name], "baseline": None, "status": "new"}
+            continue
+        if name not in metrics:
+            verdicts[name] = {"value": None, "baseline": baseline[name], "status": "missing"}
+            continue
+        value, base = metrics[name], baseline[name]
+        delta = (value - base) / base if base else 0.0
+        if delta > tolerance:
+            status = "regression"
+        elif delta < -tolerance:
+            status = "improvement"
+        else:
+            status = "ok"
+        verdicts[name] = {
+            "value": value,
+            "baseline": base,
+            "delta_pct": round(100.0 * delta, 1),
+            "status": status,
+        }
+    return verdicts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="results", help="results directory")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--repeats", type=int, default=3, help="samples per scenario")
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the committed baseline from this run",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.manifest import git_revision
+
+    t0 = time.perf_counter()
+    metrics = measure(args.repeats)
+    wall = time.perf_counter() - t0
+
+    baseline = None
+    if os.path.exists(args.baseline):
+        with open(args.baseline) as fh:
+            loaded = json.load(fh)
+        baseline = loaded.get("metrics", loaded) if isinstance(loaded, dict) else None
+    comparison = compare(metrics, baseline, args.tolerance) if baseline else None
+    failures = sorted(
+        name
+        for name, v in (comparison or {}).items()
+        if v["status"] in ("regression", "missing")
+    )
+
+    report = {
+        "schema": SCHEMA,
+        "git_revision": git_revision(),
+        "tolerance": args.tolerance,
+        "repeats": args.repeats,
+        "baseline_path": args.baseline if baseline else None,
+        "wall_time_s": round(wall, 2),
+        "metrics": metrics,
+        "comparison": comparison,
+        "failures": failures,
+    }
+    os.makedirs(args.out, exist_ok=True)
+    out_path = os.path.join(args.out, RESULTS_FILENAME)
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for name in sorted(metrics):
+        if comparison and name in comparison and comparison[name]["baseline"] is not None:
+            v = comparison[name]
+            print(
+                f"  {name:<32} {v['value']:>9.3f}s vs {v['baseline']:>9.3f}s "
+                f"{v['delta_pct']:>+7.1f}%  {v['status']}"
+            )
+        else:
+            print(f"  {name:<32} {metrics[name]:>9.3f}s  (no baseline)")
+    print(f"[wall results: {out_path}]")
+
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as fh:
+            json.dump(
+                {"schema": SCHEMA, "git_revision": git_revision(), "metrics": metrics},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"[baseline updated: {args.baseline}]")
+        return 0
+    if baseline is None:
+        print("perf: no baseline (bootstrap run; use --update-baseline to pin one)")
+        return 0
+    if failures:
+        print(f"perf: REGRESSION in {', '.join(failures)}")
+        return 1
+    print("perf: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
