@@ -7,15 +7,15 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test verify bench bench-update bench-suite bench-full perf perf-update fuzz fuzz-quick docs-check trace-smoke experiments examples loc clean
+.PHONY: test verify bench bench-update bench-suite bench-full perf perf-update fuzz fuzz-quick docs-check trace-smoke serve-smoke experiments examples loc clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
 
 # The default local verification path: the tier-1 suite, the docs
-# linter, the end-to-end tracing smoke test and the host wall-clock
-# gate.
-verify: test docs-check trace-smoke perf
+# linter, the end-to-end tracing and serving smoke tests and the host
+# wall-clock gate.
+verify: test docs-check trace-smoke serve-smoke perf
 
 # Differential fuzzing: random-but-seeded syscall workloads run against
 # both the kernel and the reference oracle (src/repro/check/), with the
@@ -29,16 +29,20 @@ fuzz:
 fuzz-quick:
 	$(PYTHON) -m repro.check --runs 200 --ops 25 --selftest --out results/fuzz
 
-# The benchmark-regression gate: measures the fig4/fig5/fig7 hot paths,
-# writes results/BENCH_results.json, and exits non-zero if any metric
-# regresses beyond tolerance against benchmarks/BENCH_baseline.json.
-# See docs/observability.md §5.
+# The benchmark-regression gates: the paper suite measures the
+# fig4/fig5/fig7 hot paths against benchmarks/BENCH_baseline.json
+# (results/BENCH_results.json); the serve suite races the KV placement
+# policies against benchmarks/BENCH_serve_baseline.json
+# (results/BENCH_serve.json). Either regressing beyond tolerance exits
+# non-zero. See docs/observability.md §5 and docs/serving.md.
 bench:
 	$(PYTHON) -m repro.experiments.cli bench --out results
+	$(PYTHON) -m repro.experiments.cli bench --suite serve --out results
 
 # Re-baseline after an intentional, reviewed performance change.
 bench-update:
 	$(PYTHON) -m repro.experiments.cli bench --out results --update-baseline
+	$(PYTHON) -m repro.experiments.cli bench --suite serve --out results --update-baseline
 
 # The host wall-clock gate: times the fig4/fig5/fig7 sweeps and a
 # fuzzer corpus on the host, writes results/BENCH_wall.json, and exits
@@ -67,6 +71,12 @@ docs-check:
 # event stream matches the registry schemas. See docs/observability.md §9.
 trace-smoke:
 	$(PYTHON) tools/trace_smoke.py
+
+# End-to-end serving smoke test: a tiny 2-tenant KV policy race with
+# --json; asserts the manifest carries non-empty per-policy and
+# per-tenant latency reservoirs. See docs/serving.md.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.cli all

@@ -17,6 +17,8 @@ Structured artifacts (schemas in ``docs/observability.md``)::
                                                # phase slices, numa_maps, vmstat
     repro-experiments introspect           # canned workload + /proc-style views
     repro-experiments bench                # regression gate -> BENCH_results.json
+    repro-experiments bench --suite serve  # serving gate -> BENCH_serve.json
+    repro-experiments serve                # KV serving policy race (docs/serving.md)
 """
 
 from __future__ import annotations
@@ -36,42 +38,57 @@ from . import (
     fig7_scalability,
     fig8_matmul,
     fig12_flows,
+    fig_serve,
     table1_lu,
 )
 from .common import default_page_counts
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
 
 _QUICK_PAGES = [4, 16, 64, 256, 1024, 4096]
 
 
-def _run_fig4(full: bool):
-    counts = None if full else _QUICK_PAGES
+def _run_fig4(args):
+    counts = None if args.full else _QUICK_PAGES
     return [fig4_throughput.run(counts)]
 
 
-def _run_fig5(full: bool):
-    counts = None if full else _QUICK_PAGES
+def _run_fig5(args):
+    counts = None if args.full else _QUICK_PAGES
     return [fig5_nexttouch.run(counts)]
 
 
-def _run_fig6(full: bool):
-    counts = None if full else _QUICK_PAGES
+def _run_fig6(args):
+    counts = None if args.full else _QUICK_PAGES
     return [fig6_breakdown.run_user(counts), fig6_breakdown.run_kernel(counts)]
 
 
-def _run_fig7(full: bool):
-    counts = default_page_counts(64, 32768) if full else [64, 256, 1024, 4096, 16384]
+def _run_fig7(args):
+    counts = (
+        default_page_counts(64, 32768) if args.full else [64, 256, 1024, 4096, 16384]
+    )
     return [fig7_scalability.run(counts)]
 
 
-def _run_fig8(full: bool):
-    sizes = fig8_matmul.DEFAULT_SIZES if full else (128, 256, 512, 1024)
+def _run_fig8(args):
+    sizes = fig8_matmul.DEFAULT_SIZES if args.full else (128, 256, 512, 1024)
     return [fig8_matmul.run(sizes)]
 
 
-def _run_table1(full: bool):
-    return [table1_lu.run(full=full)]
+def _run_table1(args):
+    return [table1_lu.run(full=args.full)]
+
+
+def _run_serve(args):
+    return [
+        fig_serve.run(
+            args.full,
+            tenants=args.tenants,
+            requests=args.requests,
+            slo_us=args.slo_us,
+            policies=args.policies,
+        )
+    ]
 
 
 class _TextResult:
@@ -84,21 +101,21 @@ class _TextResult:
         return self._text
 
 
-def _run_flows(full: bool):
+def _run_flows(args):
     return [_TextResult(fig12_flows.run())]
 
 
-def _run_fig3(full: bool):
+def _run_fig3(args):
     from ..hardware.topology import Machine
     from ..report import topology_report
 
     return [_TextResult(topology_report(Machine.opteron_8347he_quad()))]
 
 
-def _run_whatif(full: bool):
+def _run_whatif(args):
     from . import whatif_machines
 
-    counts = [16, 256, 4096] if full else [16, 256]
+    counts = [16, 256, 4096] if args.full else [16, 256]
     return [
         whatif_machines.run_machines(counts),
         whatif_machines.run_numa_factors(),
@@ -106,18 +123,18 @@ def _run_whatif(full: bool):
     ]
 
 
-def _run_calibration(full: bool):
+def _run_calibration(args):
     from .calibration import calibration_report
 
     return [_TextResult(calibration_report())]
 
 
-def _run_blas1(full: bool):
-    sizes = blas1_check.DEFAULT_SIZES if full else blas1_check.DEFAULT_SIZES[:3]
+def _run_blas1(args):
+    sizes = blas1_check.DEFAULT_SIZES if args.full else blas1_check.DEFAULT_SIZES[:3]
     return [blas1_check.run(sizes)]
 
 
-_RUNNERS: dict[str, Callable[[bool], list]] = {
+_RUNNERS: dict[str, Callable[..., list]] = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
     "fig5": _run_fig5,
@@ -128,6 +145,7 @@ _RUNNERS: dict[str, Callable[[bool], list]] = {
     "blas1": _run_blas1,
     "flows": _run_flows,
     "calibration": _run_calibration,
+    "serve": _run_serve,
     "whatif": _run_whatif,
 }
 
@@ -160,7 +178,8 @@ def _check_observation(obs, name: str) -> dict:
 
 
 def _write_observation(
-    obs, name: str, args, wall_time_s: float, invariants=None, recorder=None
+    obs, name: str, args, wall_time_s: float, invariants=None, recorder=None,
+    results=(),
 ) -> None:
     """Emit the manifest/metrics/trace artifacts for one experiment."""
     from ..obs import run_manifest, write_chrome_trace
@@ -182,6 +201,12 @@ def _write_observation(
         if recorder is not None:
             extra["tracepoints"] = recorder.summary()
             extra["phases"] = profile.summary()
+        # Results can contribute their own manifest block (e.g. the
+        # serve race's per-policy stats and SLO transitions).
+        for result in results:
+            extra_fn = getattr(result, "manifest_extra", None)
+            if extra_fn is not None:
+                extra.update(extra_fn())
         manifest = run_manifest(
             obs.systems,
             experiment=name,
@@ -299,6 +324,13 @@ def _run_introspect(args) -> int:
     with record_tracepoints() as recorder:
         harness = DiffHarness()
         failure = harness.run(_INTROSPECT_OPS)
+        if failure is None:
+            # The kernel workload above covers every kernel emit site;
+            # the KV smoke run adds the app-level serve:* pair so the
+            # artifacts exercise the full registry.
+            from ..apps.kvserver import smoke_workload
+
+            smoke_workload(seed=0)
     if failure is not None:
         print(
             f"introspect: workload diverged: {json.dumps(failure.to_json())}",
@@ -388,28 +420,54 @@ def _maybe_profile(args, name: str, fn: Callable[[], object]):
     return result
 
 
+def _fmt_us(value, width: int = 8) -> str:
+    """One latency cell: a number, or ``-`` below the quantile floor."""
+    return f"{value:>{width}.1f}" if value is not None else f"{'-':>{width}}"
+
+
 def _run_bench_gate(args) -> int:
     """``repro-experiments bench``: measure, write, compare, gate."""
     from ..obs import bench
 
     start = time.time()
-    metrics = bench.run_bench()
+    if args.suite == "serve":
+        baseline_path = args.baseline or bench.SERVE_BASELINE
+        metrics, latency = bench.run_serve_bench()
+        results_name = bench.SERVE_RESULTS_FILENAME
+    else:
+        baseline_path = args.baseline or bench.DEFAULT_BASELINE
+        metrics, latency = bench.run_bench(), None
+        results_name = bench.RESULTS_FILENAME
     report = bench.bench_report(
-        metrics, args.baseline, args.tolerance, wall_time_s=round(time.time() - start, 3)
+        metrics, baseline_path, args.tolerance,
+        wall_time_s=round(time.time() - start, 3),
     )
-    report["phase_latency_us"] = bench.phase_latency_quantiles()
+    if args.suite == "serve":
+        report["serve_latency_us"] = latency
+    else:
+        report["phase_latency_us"] = bench.phase_latency_quantiles()
     os.makedirs(args.out, exist_ok=True)
-    results_path = os.path.join(args.out, bench.RESULTS_FILENAME)
+    results_path = os.path.join(args.out, results_name)
     with open(results_path, "w") as fh:
         json.dump(report, fh, indent=2)
-    print("  phase latency (lazy migration, informational):")
-    for name, q in report["phase_latency_us"].items():
-        print(
-            f"  {name:<30} p50 {q['p50_us']:>8.1f}  p95 {q['p95_us']:>8.1f}  "
-            f"p99 {q['p99_us']:>8.1f} us  ({q['count']} spans)"
-        )
+    if args.suite == "serve":
+        print("  request latency (per policy, informational):")
+        for name, q in report["serve_latency_us"].items():
+            print(
+                f"  {name:<30} p50 {_fmt_us(q['p50_us'])}  "
+                f"p95 {_fmt_us(q['p95_us'])}  p99 {_fmt_us(q['p99_us'])} us  "
+                f"({q['count']} requests)"
+            )
+    else:
+        print("  phase latency (lazy migration, informational):")
+        for name, q in report["phase_latency_us"].items():
+            print(
+                f"  {name:<30} p50 {_fmt_us(q['p50_us'])}  "
+                f"p95 {_fmt_us(q['p95_us'])}  p99 {_fmt_us(q['p99_us'])} us  "
+                f"({q['count']} spans)"
+            )
     if report["comparison"] is None:
-        print(f"bench: no baseline at {args.baseline!r} — wrote results only")
+        print(f"bench: no baseline at {baseline_path!r} — wrote results only")
         for name, value in report["metrics"].items():
             print(f"  {name:<40} {value:>10.1f}")
     else:
@@ -421,10 +479,10 @@ def _run_bench_gate(args) -> int:
     print(f"[bench results: {results_path}]", file=sys.stderr)
     if args.update_baseline:
         baseline_doc = {"schema": bench.SCHEMA, "metrics": report["metrics"]}
-        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
-        with open(args.baseline, "w") as fh:
+        os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
+        with open(baseline_path, "w") as fh:
             json.dump(baseline_doc, fh, indent=2)
-        print(f"[baseline updated: {args.baseline}]", file=sys.stderr)
+        print(f"[baseline updated: {baseline_path}]", file=sys.stderr)
         return 0
     if report["failures"]:
         print(
@@ -437,8 +495,8 @@ def _run_bench_gate(args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (also introspected by tools/docs_check.py)."""
     from ..obs import bench as _bench_defaults
 
     parser = argparse.ArgumentParser(
@@ -499,13 +557,53 @@ def main(argv: list[str] | None = None) -> int:
         "system after the run (see docs/correctness.md); exits non-zero "
         "on violations",
     )
+    serve = parser.add_argument_group("serve (KV policy race)")
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        metavar="N",
+        help="tenants in the serving mix (default: 3)",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=800,
+        metavar="N",
+        help="requests per client stream (default: 800)",
+    )
+    serve.add_argument(
+        "--slo-us",
+        type=float,
+        default=fig_serve.DEFAULT_SLO_US,
+        metavar="US",
+        help="per-tenant p99 latency SLO in simulated microseconds "
+        f"(default: {fig_serve.DEFAULT_SLO_US:g})",
+    )
+    serve.add_argument(
+        "--policies",
+        nargs="+",
+        choices=fig_serve.POLICIES,
+        default=None,
+        metavar="POLICY",
+        help="subset of placement policies to race "
+        f"(default: all of {', '.join(fig_serve.POLICIES)})",
+    )
     gate = parser.add_argument_group("bench (regression gate)")
+    gate.add_argument(
+        "--suite",
+        choices=("paper", "serve"),
+        default="paper",
+        help="which bench suite to gate: the paper's fig4/fig5/fig7 hot "
+        "paths, or the KV serving policy race (default: paper)",
+    )
     gate.add_argument(
         "--baseline",
         metavar="PATH",
-        default=_bench_defaults.DEFAULT_BASELINE,
-        help="baseline metrics file to compare against "
-        f"(default: {_bench_defaults.DEFAULT_BASELINE})",
+        default=None,
+        help="baseline metrics file to compare against (default: "
+        f"{_bench_defaults.DEFAULT_BASELINE}, or "
+        f"{_bench_defaults.SERVE_BASELINE} with --suite serve)",
     )
     gate.add_argument(
         "--tolerance",
@@ -526,7 +624,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite the baseline from this run's metrics and exit 0",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
     if args.experiment == "bench":
         return _maybe_profile(args, "bench", lambda: _run_bench_gate(args))
     if args.experiment == "introspect":
@@ -551,15 +654,15 @@ def main(argv: list[str] | None = None) -> int:
 
                     with record_tracepoints() as recorder:
                         results = _maybe_profile(
-                            args, name, lambda: _RUNNERS[name](args.full)
+                            args, name, lambda: _RUNNERS[name](args)
                         )
                 else:
                     results = _maybe_profile(
-                        args, name, lambda: _RUNNERS[name](args.full)
+                        args, name, lambda: _RUNNERS[name](args)
                     )
         else:
             obs, results = None, _maybe_profile(
-                args, name, lambda: _RUNNERS[name](args.full)
+                args, name, lambda: _RUNNERS[name](args)
             )
         for result in results:
             print(result.render())
@@ -583,6 +686,7 @@ def main(argv: list[str] | None = None) -> int:
                 wall_time_s=round(wall, 3),
                 invariants=invariants,
                 recorder=recorder,
+                results=results,
             )
         print(f"[{name} regenerated in {wall:.1f}s wall]", file=sys.stderr)
     return 1 if broken else 0

@@ -132,6 +132,10 @@ def touch_range(
             )
             nodes = pt.node[idx : idx + run]
             thread_node = kernel.machine.node_of_core(thread.core)
+            if kernel.access_profiler is not None:
+                kernel.access_profiler.record(
+                    thread.process.pid, vma, idx, run, thread_node
+                )
             cost = _access_cost_us(kernel, thread_node, np.asarray(nodes), bpp)
             if cost > 0:
                 yield kernel.charge(tag, cost)
@@ -252,6 +256,10 @@ def touch_pages(
         yield from handle_fault(kernel, thread, vma.addr_of_page(int(idx)), write)
     if bytes_per_page > 0:
         thread_node = kernel.machine.node_of_core(thread.core)
+        if kernel.access_profiler is not None:
+            pid = thread.process.pid
+            for idx in idxs:
+                kernel.access_profiler.record(pid, vma, int(idx), 1, thread_node)
         cost = _access_cost_us(kernel, thread_node, vma.pt.node[idxs], bytes_per_page)
         if cost > 0:
             yield kernel.charge(tag, cost)

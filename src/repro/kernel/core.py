@@ -140,6 +140,12 @@ class Kernel:
         #: diffs the two). Simulated results are identical either way.
         self._fastpath_enabled = os.environ.get("REPRO_SLOW_PATH", "") not in ("1", "true", "yes")
         self.force_slow_path = False
+        #: Optional access profiler (:class:`repro.kernel.heat.HeatTracker`)
+        #: the touch paths report resident accesses into. ``None`` (the
+        #: default) keeps the hot paths at one attribute test per run;
+        #: attaching one never alters simulated behavior — placement
+        #: drivers read it, the kernel itself never does.
+        self.access_profiler = None
 
     # ------------------------------------------------------------ processes --
     def create_process(self, name: str = "", policy: Optional[MemPolicy] = None) -> "SimProcess":

@@ -1,0 +1,110 @@
+"""Online access heat: the kernel-side hook placement drivers read.
+
+The serving experiments (``repro.apps.kvserver``) need what NUMA
+balancing and HM-Keeper-style tiering daemons need: *which pages are
+hot, and from which node are they being touched*. The access paths in
+:mod:`repro.kernel.access` already classify every resident touch; this
+module gives the kernel an optional profiler those paths report into:
+
+* :class:`HeatTracker` counts touches per ``(pid, page address)``,
+  split by the toucher's NUMA node — pid-qualified because distinct
+  address spaces reuse the same virtual ranges, and a policy driver
+  must never read one process's heat as another's;
+* ``Kernel.access_profiler`` (``None`` by default) is the attachment
+  point — while it is ``None`` the access paths pay one attribute
+  test per run, nothing else, so tier-1 performance is unaffected;
+* policy drivers call :meth:`HeatTracker.snapshot` each wake to read
+  (and optionally reset) the window, then act on
+  :meth:`HeatTracker.hot_pages` / :meth:`HeatTracker.dominant_node`.
+
+Counts are per *touch run*, exactly as the access layer charges them:
+a 64-page streamed run adds one count to each of its 64 pages. The
+tracker observes only — attaching one never changes simulated time,
+placement, or the wall-clock fast-path gating.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..util.units import PAGE_SHIFT, PAGE_SIZE
+
+__all__ = ["HeatTracker"]
+
+
+class HeatTracker:
+    """Per-(pid, page), per-node access counts over a window."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        #: (pid, page address) -> per-node counts for the current window
+        self._counts: dict[tuple[int, int], np.ndarray] = {}
+        #: touches recorded over the tracker's lifetime (never reset)
+        self.touches_recorded = 0
+
+    # ------------------------------------------------------------- record ----
+    def record(self, pid: int, vma, idx: int, run: int, node: int) -> None:
+        """Count a resident touch of ``run`` pages starting at page
+        ``idx`` of ``vma`` in address space ``pid``, from ``node``."""
+        if run <= 0:
+            return
+        base = vma.addr_of_page(int(idx))
+        counts = self._counts
+        for addr in range(base, base + (int(run) << PAGE_SHIFT), PAGE_SIZE):
+            cell = counts.get((pid, addr))
+            if cell is None:
+                cell = counts[(pid, addr)] = np.zeros(self.num_nodes, dtype=np.int64)
+            cell[node] += 1
+        self.touches_recorded += int(run)
+
+    # ------------------------------------------------------------ queries ----
+    def snapshot(self, *, clear: bool = True) -> dict[tuple[int, int], np.ndarray]:
+        """The current window's ``{(pid, page_addr): per-node counts}``.
+
+        With ``clear`` (the default for periodic drivers) the window
+        resets, so each wake sees only the traffic since the last one.
+        """
+        out = self._counts
+        if clear:
+            self._counts = {}
+            return out
+        return {key: cell.copy() for key, cell in out.items()}
+
+    def hot_pages(
+        self,
+        window: dict[tuple[int, int], np.ndarray],
+        k: Optional[int],
+        *,
+        pid: Optional[int] = None,
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> list[int]:
+        """The ``k`` hottest page addresses of a window, hottest first
+        (``k=None`` returns every touched page, still hottest first).
+
+        ``pid`` restricts to one address space (required whenever more
+        than one process is profiled — virtual ranges collide across
+        address spaces); ``lo``/``hi`` restrict to one region. Ties
+        break by address so drivers act deterministically.
+        """
+        in_range = [
+            (int(cell.sum()), addr)
+            for (p, addr), cell in window.items()
+            if (pid is None or p == pid)
+            and addr >= lo
+            and (hi is None or addr < hi)
+        ]
+        in_range.sort(key=lambda t: (-t[0], t[1]))
+        return [addr for _, addr in in_range[:k]]
+
+    def dominant_node(
+        self, window: dict[tuple[int, int], np.ndarray], pid: int, addr: int
+    ) -> Optional[int]:
+        """The node that touched ``(pid, addr)`` most this window (ties
+        break low), or ``None`` if the page went untouched."""
+        cell = window.get((pid, addr))
+        if cell is None or not cell.any():
+            return None
+        return int(np.argmax(cell))

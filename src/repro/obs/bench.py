@@ -26,7 +26,10 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "DEFAULT_BASELINE",
     "RESULTS_FILENAME",
+    "SERVE_BASELINE",
+    "SERVE_RESULTS_FILENAME",
     "run_bench",
+    "run_serve_bench",
     "phase_latency_quantiles",
     "compare",
     "bench_report",
@@ -36,6 +39,13 @@ SCHEMA = "repro.bench/v1"
 DEFAULT_TOLERANCE = 0.02
 DEFAULT_BASELINE = os.path.join("benchmarks", "BENCH_baseline.json")
 RESULTS_FILENAME = "BENCH_results.json"
+SERVE_BASELINE = os.path.join("benchmarks", "BENCH_serve_baseline.json")
+SERVE_RESULTS_FILENAME = "BENCH_serve.json"
+
+#: Fixed shape of the gated serving race (``--suite serve``): smaller
+#: than the CLI default so the gate stays fast, seeded so it is
+#: deterministic run to run.
+_SERVE_SHAPE = dict(tenants=3, keys=128, clients=2, requests=400, seed=1234)
 
 #: Page counts per probed regime: the base-overhead region and the
 #: asymptotic region of each throughput curve.
@@ -88,6 +98,37 @@ def run_bench() -> dict[str, float]:
     for suite in _SUITES:
         metrics.update((k, float(v)) for k, v in suite().items())
     return dict(sorted(metrics.items()))
+
+
+def run_serve_bench() -> tuple[dict[str, float], dict[str, dict]]:
+    """The serving gate: per-policy throughput plus latency info.
+
+    Races every placement policy of :mod:`repro.apps.kvserver` over the
+    fixed tenant mix in :data:`_SERVE_SHAPE` and returns
+
+    * gated metrics ``{"serve.req_s.<policy>": requests/s}`` — like the
+      paper suite these are **higher-better** throughputs, compared
+      against ``benchmarks/BENCH_serve_baseline.json``;
+    * an informational latency block ``{policy: {count, p50_us,
+      p95_us, p99_us}}`` (``None`` below the quantile sample floor),
+      written into ``BENCH_serve.json`` under ``serve_latency_us`` but
+      never gated — tail latencies move with intentional SLO/policy
+      re-tuning more often than with real regressions.
+    """
+    from ..experiments import fig_serve
+
+    metrics: dict[str, float] = {}
+    latency: dict[str, dict] = {}
+    for policy in fig_serve.POLICIES:
+        stats = fig_serve.race(policy, **_SERVE_SHAPE)
+        metrics[f"serve.req_s.{policy}"] = round(stats.throughput_rps, 1)
+        latency[policy] = {
+            "count": stats.requests,
+            "p50_us": stats.p50_us,
+            "p95_us": stats.p95_us,
+            "p99_us": stats.p99_us,
+        }
+    return dict(sorted(metrics.items())), latency
 
 
 def phase_latency_quantiles(npages: int = _LARGE) -> dict[str, dict]:

@@ -16,6 +16,7 @@ an existing name with a different instrument type is an error.
 
 from __future__ import annotations
 
+import math
 import random
 import zlib
 from typing import Iterable, Mapping, Optional
@@ -113,12 +114,17 @@ class Histogram:
                 self._reservoir[slot] = value
 
     @property
-    def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean, or ``None`` before any observation — the
+        same convention as the quantiles, so consumers never mistake
+        an empty instrument for one that observed zeros."""
+        return self.sum / self.count if self.count else None
 
     def quantile(self, q: float) -> Optional[float]:
         """The ``q``-quantile (0 <= q <= 1) of the reservoir sample,
-        linearly interpolated; ``None`` before any observation."""
+        linearly interpolated; ``None`` when the reservoir holds fewer
+        than :func:`_min_samples` observations (a p99 of three samples
+        is the max wearing a costume, not a tail estimate)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         return _quantile(sorted(self._reservoir), q)
@@ -139,9 +145,26 @@ class Histogram:
         }
 
 
+def _min_samples(q: float) -> int:
+    """Observations needed before the ``q``-quantile means anything.
+
+    A tail quantile needs roughly ``1 / (1 - q)`` samples before it is
+    distinguishable from the sample max (symmetrically ``1 / q`` for
+    the low tail): 2 for p50, 20 for p95, 100 for p99. The extremes
+    (q == 0 or 1) are the min/max and need only one.
+    """
+    tail = min(q, 1.0 - q)
+    if tail <= 0.0:
+        return 1
+    return math.ceil(round(1.0 / tail, 9))
+
+
 def _quantile(values: list, q: float) -> Optional[float]:
-    """Interpolated quantile of an already-sorted sample."""
-    if not values:
+    """Interpolated quantile of an already-sorted sample; ``None``
+    when the sample is empty or too small for ``q`` (see
+    :func:`_min_samples`) — low-count reservoirs must not report fake
+    tails."""
+    if len(values) < _min_samples(q):
         return None
     pos = q * (len(values) - 1)
     lo = int(pos)
@@ -235,7 +258,7 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
                 for key, pick in (("min", min), ("max", max)):
                     a, b = cur[key], entry[key]
                     cur[key] = b if a is None else (a if b is None else pick(a, b))
-                cur["mean"] = cur["sum"] / cur["count"] if cur["count"] else 0.0
+                cur["mean"] = cur["sum"] / cur["count"] if cur["count"] else None
                 merged = sorted(
                     list(cur.get("reservoir") or []) + list(entry.get("reservoir") or [])
                 )

@@ -77,6 +77,8 @@ class PhaseProfile:
         #: fault:enter events whose exit never arrived (per-thread)
         self.unmatched_faults = 0
         self.fault_hist = Histogram("tp.fault.latency_us")
+        #: per-tenant request latency histograms from ``serve:request``
+        self.request_hist: dict[str, Histogram] = {}
         #: phase slices for chrome export: (sys, tag, phase, ts, dur)
         self._slices: list[tuple[int, str, str, float, float]] = []
 
@@ -101,6 +103,18 @@ class PhaseProfile:
                 span = FaultSpan(key[0], key[1], key[2], start, event.t_us)
                 profile.fault_spans.append(span)
                 profile.fault_hist.observe(span.duration_us)
+            elif name == "serve:request":
+                tenant = str(event.fields["tenant"])
+                dur = float(event.fields["dur_us"])
+                hist = profile.request_hist.get(tenant)
+                if hist is None:
+                    hist = profile.request_hist[tenant] = Histogram(
+                        f"tp.serve.latency_us.{tenant}"
+                    )
+                hist.observe(dur)
+                profile._slices.append(
+                    (event.sys, "serve", tenant, event.t_us - dur, dur)
+                )
             elif name.startswith(_PHASE_PREFIX):
                 phase = name[len(_PHASE_PREFIX):]
                 tag = event.fields["tag"]
@@ -169,6 +183,10 @@ class PhaseProfile:
         registry.counter("tp.fault.unmatched").inc(self.unmatched_faults)
         if self.fault_hist.count:
             registry.add(self.fault_hist)
+        for tenant in sorted(self.request_hist):
+            hist = self.request_hist[tenant]
+            registry.counter(f"tp.serve.requests.{tenant}").inc(hist.count)
+            registry.add(hist)
 
     def chrome_events(self) -> list[dict]:
         """Phase and fault spans as Chrome-trace complete events.
@@ -243,12 +261,26 @@ class PhaseProfile:
             "faults": {
                 "count": len(self.fault_spans),
                 "unmatched": self.unmatched_faults,
-                "latency_us": {
-                    "mean": self.fault_hist.mean,
-                    "p50": self.fault_hist.quantile(0.50),
-                    "p95": self.fault_hist.quantile(0.95),
-                    "p99": self.fault_hist.quantile(0.99),
-                    "max": self.fault_hist.max,
-                },
+                "latency_us": _latency_block(self.fault_hist),
+            },
+            "serve": {
+                tenant: dict(
+                    _latency_block(hist), count=hist.count
+                )
+                for tenant, hist in sorted(self.request_hist.items())
             },
         }
+
+
+def _latency_block(hist: Histogram) -> dict:
+    """The mean/p50/p95/p99/max summary of one latency histogram.
+
+    Every field is ``None``-propagating: an empty or low-count
+    histogram reports ``None``, never a fabricated number."""
+    return {
+        "mean": hist.mean,
+        "p50": hist.quantile(0.50),
+        "p95": hist.quantile(0.95),
+        "p99": hist.quantile(0.99),
+        "max": hist.max,
+    }

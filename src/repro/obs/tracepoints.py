@@ -145,6 +145,16 @@ _register(
     ("pid", "child", "ptes"),
     "fork duplicated an address space copy-on-write",
 )
+_register(
+    "serve:request",
+    ("tenant", "client", "key", "node", "write", "dur_us"),
+    "a KV request completed end-to-end (simulated service latency)",
+)
+_register(
+    "serve:policy",
+    ("tenant", "policy", "action", "pages"),
+    "a placement policy driver acted (or the SLO gate transitioned)",
+)
 
 
 @dataclass(frozen=True)

@@ -76,7 +76,8 @@ def test_empty_histogram_snapshot():
     reg = MetricsRegistry()
     reg.histogram("h")
     snap = reg.snapshot()["h"]
-    assert snap["count"] == 0 and snap["min"] is None and snap["mean"] == 0.0
+    assert snap["count"] == 0 and snap["min"] is None and snap["mean"] is None
+    assert snap["p50"] is None and snap["p99"] is None
 
 
 def test_merge_snapshots_semantics():

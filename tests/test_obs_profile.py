@@ -69,6 +69,9 @@ def test_publish_registers_tp_metrics():
                pages=8, dur_us=6.0),
         _event("fault:enter", 1.0, pid=1, tid=1, core=0, addr=0, write=True),
         _event("fault:exit", 2.5, pid=1, tid=1),
+        # second span so the p50 quantile clears its sample floor
+        _event("fault:enter", 3.0, pid=1, tid=1, core=0, addr=0, write=True),
+        _event("fault:exit", 4.5, pid=1, tid=1),
     ]
     registry = MetricsRegistry()
     PhaseProfile.from_events(events).publish(registry)
@@ -76,7 +79,7 @@ def test_publish_registers_tp_metrics():
     assert snap["tp.phase.total_us.nt.copy"]["value"] == 6.0
     assert snap["tp.phase.pages.nt.copy"]["value"] == 8.0
     assert snap["tp.flow.pages.0->1"]["value"] == 8.0
-    assert snap["tp.fault.count"]["value"] == 1.0
+    assert snap["tp.fault.count"]["value"] == 2.0
     assert snap["tp.phase.nt.copy.dur_us"]["type"] == "histogram"
     assert snap["tp.fault.latency_us"]["p50"] == 1.5
 

@@ -1,0 +1,213 @@
+"""Tests for the KV serving workload and its SLO-gated policy drivers
+(repro.apps.kvserver, docs/serving.md)."""
+
+import pytest
+
+from repro.apps.kvserver import (
+    DEFAULT_SLO_US,
+    POLICIES,
+    KVServer,
+    SloGate,
+    TenantSpec,
+    ZipfianKeys,
+    make_policy,
+    smoke_workload,
+)
+from repro.kernel.heat import HeatTracker
+from repro.obs.metrics import Histogram
+from repro.util import PAGE_SIZE
+
+
+# ---------------------------------------------------------- Zipfian sampler --
+
+def test_zipf_sampling_is_seed_stable():
+    a = ZipfianKeys(100, 0.9, seed=42, streams=("zipf", "t0", 0))
+    b = ZipfianKeys(100, 0.9, seed=42, streams=("zipf", "t0", 0))
+    assert [a.sample() for _ in range(200)] == [b.sample() for _ in range(200)]
+
+
+def test_zipf_streams_decorrelate():
+    a = ZipfianKeys(100, 0.9, seed=42, streams=("zipf", "t0", 0))
+    b = ZipfianKeys(100, 0.9, seed=42, streams=("zipf", "t0", 1))
+    assert [a.sample() for _ in range(50)] != [b.sample() for _ in range(50)]
+
+
+def test_zipf_skew_concentrates_on_low_ranks():
+    zk = ZipfianKeys(64, 1.2, seed=7)
+    draws = [zk.sample() for _ in range(2000)]
+    top = sum(1 for k in draws if k < 8)
+    assert top > len(draws) // 2  # the 8 hottest of 64 keys dominate
+
+
+def test_zipf_drift_rotates_the_hot_set():
+    zk = ZipfianKeys(100, 1.0, seed=5, drift_step=10, drift_period_us=100.0)
+    assert zk.offset(0.0) == 0
+    assert zk.offset(99.9) == 0
+    assert zk.offset(100.0) == 10
+    assert zk.offset(250.0) == 20
+    assert zk.offset(1000.0) == 0  # wraps the keyspace
+    # no drift parameters -> identity mapping forever
+    assert ZipfianKeys(100, 1.0, seed=5).offset(1e9) == 0
+
+
+def test_zipf_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        ZipfianKeys(0)
+    with pytest.raises(ValueError):
+        ZipfianKeys(10, theta=-0.1)
+
+
+# ----------------------------------------------------------------- SLO gate --
+
+def test_gate_is_silent_below_the_p99_sample_floor():
+    gate = SloGate(10.0, window=128)
+    for _ in range(99):
+        assert gate.observe(50.0) is None
+    assert not gate.at_risk and gate.rolling_p99() is None
+
+
+def test_gate_breaches_exactly_above_the_slo_not_at_it():
+    gate = SloGate(10.0, window=100)
+    for _ in range(150):
+        assert gate.observe(10.0) is None  # p99 == slo: no breach
+    assert gate.breaches == 0 and not gate.at_risk
+    transitions = []
+    for _ in range(150):
+        event = gate.observe(10.5)
+        if event:
+            transitions.append(event)
+    assert transitions == ["breach"]
+    assert gate.at_risk and gate.breaches == 1
+
+
+def test_gate_never_oscillates_inside_the_hysteresis_band():
+    gate = SloGate(10.0, window=100, recover_fraction=0.9)
+    for _ in range(120):
+        gate.observe(20.0)
+    assert gate.at_risk and gate.breaches == 1
+    # latencies inside (recover, slo]: no transition in either direction
+    for _ in range(300):
+        assert gate.observe(9.5) is None
+    assert gate.at_risk and gate.breaches == 1 and gate.recoveries == 0
+
+
+def test_gate_recovers_at_the_recover_fraction_once():
+    gate = SloGate(10.0, window=100, recover_fraction=0.9)
+    for _ in range(120):
+        gate.observe(20.0)
+    events = [gate.observe(8.0, now_us=float(i)) for i in range(300)]
+    assert events.count("recover") == 1 and "breach" not in events
+    assert not gate.at_risk and gate.recoveries == 1
+    assert [t["event"] for t in gate.transitions] == ["breach", "recover"]
+    assert gate.summary()["rolling_p99_us"] == 8.0
+
+
+def test_gate_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        SloGate(0.0)
+    with pytest.raises(ValueError):
+        SloGate(10.0, recover_fraction=1.5)
+
+
+# --------------------------------------------- histogram quantile sample floor --
+
+def test_low_count_quantiles_return_none_not_zero():
+    h = Histogram("lat")
+    assert h.mean is None and h.quantile(0.5) is None
+    h.observe(5.0)
+    # one sample: a median is meaningless, p99 even more so
+    assert h.quantile(0.5) is None and h.quantile(0.99) is None
+    assert h.mean == 5.0
+    h.observe(7.0)
+    assert h.quantile(0.5) is not None
+    for _ in range(97):
+        h.observe(6.0)
+    assert h.count == 99 and h.quantile(0.99) is None
+    h.observe(6.0)
+    assert h.quantile(0.99) is not None
+
+
+# ------------------------------------------------------- heat pid separation --
+
+class _FakeVma:
+    def __init__(self, base):
+        self.base = base
+
+    def addr_of_page(self, idx):
+        return self.base + idx * PAGE_SIZE
+
+
+def test_heat_tracker_separates_address_spaces():
+    """Two processes reusing the same virtual range must never pool
+    heat — the bug class that makes a driver bounce pages between
+    *other* tenants' client nodes."""
+    tracker = HeatTracker(4)
+    vma = _FakeVma(0x10000)
+    tracker.record(1, vma, 0, 4, node=0)
+    tracker.record(2, vma, 0, 4, node=2)
+    tracker.record(2, vma, 0, 2, node=2)
+    window = tracker.snapshot()
+    addr = vma.addr_of_page(0)
+    assert tracker.dominant_node(window, 1, addr) == 0
+    assert tracker.dominant_node(window, 2, addr) == 2
+    assert tracker.dominant_node(window, 3, addr) is None
+    only_p1 = tracker.hot_pages(window, None, pid=1)
+    assert len(only_p1) == 4
+    # pid 2's extra touches must not leak into pid 1's ranking
+    both = tracker.hot_pages(window, None)
+    assert len(both) == 8
+
+
+def test_heat_tracker_snapshot_clears_the_window():
+    tracker = HeatTracker(2)
+    vma = _FakeVma(0)
+    tracker.record(1, vma, 0, 1, node=1)
+    assert tracker.snapshot() != {}
+    assert tracker.snapshot() == {}
+    assert tracker.touches_recorded == 1
+
+
+# -------------------------------------------------------- end-to-end serving --
+
+def _tiny_specs():
+    return [
+        TenantSpec(
+            name="a", keys=32, value_pages=2, clients=2, requests=60,
+            home_node=0, client_node=1, drift_step=8, drift_period_us=300.0,
+        ),
+        TenantSpec(
+            name="b", keys=32, value_pages=2, clients=2, requests=60,
+            arrival_us=150.0, home_node=1, client_node=2,
+            drift_step=8, drift_period_us=300.0,
+        ),
+    ]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_short_serve_run_upholds_kernel_invariants(checked_system, policy):
+    """Every policy serves the tiny mix to completion and leaves the
+    kernel consistent (frames, page tables, replica accounting) — the
+    ``checked_system`` fixture asserts the invariants at teardown."""
+    server = KVServer(
+        checked_system,
+        _tiny_specs(),
+        make_policy(policy, period_us=60.0),
+        slo_us=DEFAULT_SLO_US,
+        gated=policy != "static",
+        seed=11,
+    )
+    stats = server.run()
+    assert stats.policy == policy
+    assert stats.requests == 2 * 2 * 60
+    assert stats.throughput_rps > 0
+    for name, tstats in stats.tenants.items():
+        assert tstats["requests"] == 2 * 60, name
+        assert tstats["latency_us"]["p99"] is not None, name
+
+
+def test_smoke_workload_is_seed_stable():
+    a = smoke_workload(seed=3)
+    b = smoke_workload(seed=3)
+    assert a.requests == b.requests == 240
+    assert a.throughput_rps == b.throughput_rps
+    assert a.p99_us == b.p99_us

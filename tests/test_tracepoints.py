@@ -32,7 +32,7 @@ class _FakeKernel:
 # ------------------------------------------------------------------ registry --
 
 def test_registry_names_and_schemas():
-    assert len(TRACEPOINTS) == 14
+    assert len(TRACEPOINTS) == 16
     for name, tp in TRACEPOINTS.items():
         assert tp.name == name
         assert ":" in name
@@ -45,7 +45,9 @@ def test_registry_names_and_schemas():
 
 def test_registry_covers_every_subsystem():
     prefixes = {name.split(":", 1)[0] for name in TRACEPOINTS}
-    assert prefixes == {"fault", "migrate", "move_pages", "swap", "cow", "fork"}
+    assert prefixes == {
+        "fault", "migrate", "move_pages", "swap", "cow", "fork", "serve",
+    }
 
 
 # ------------------------------------------------------- enable/disable state --
@@ -155,15 +157,31 @@ def _run_introspect_workload():
 
 
 def test_every_registered_tracepoint_fires_under_the_canned_workload():
-    """The introspect workload touches every emit site in the kernel —
-    a tracepoint registered but never wired up fails here."""
+    """The introspect workload touches every kernel emit site — a
+    tracepoint registered but never wired up fails here. The ``serve:*``
+    pair lives in the KV serving app, not the kernel, and is covered by
+    the smoke-workload test below."""
     with record_tracepoints() as rec:
         _run_introspect_workload()
-    assert set(rec.counts()) == set(TRACEPOINTS)
+    kernel_tps = {n for n in TRACEPOINTS if not n.startswith("serve:")}
+    assert set(rec.counts()) == kernel_tps
     assert rec.dropped == 0
     # every event carried its full schema (emit validates, but assert
     # the stream is non-trivial too)
     assert len(rec) > 20
+
+
+def test_serve_tracepoints_fire_under_the_smoke_workload():
+    """The app-level ``serve:*`` pair fires under the KV smoke run, so
+    together with the canned workload every registered tracepoint has a
+    covered emit site."""
+    from repro.apps.kvserver import smoke_workload
+
+    with record_tracepoints() as rec:
+        smoke_workload(seed=7)
+    counts = rec.counts()
+    assert counts.get("serve:request", 0) > 0
+    assert counts.get("serve:policy", 0) > 0
 
 
 def test_disabled_mode_records_nothing_during_a_real_workload():

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Serving smoke test: one tiny KV policy race, every artifact parsed.
+
+Runs ``repro-experiments serve`` with a 2-tenant, short-stream mix and
+the next-touch policy into a temporary directory, then asserts:
+
+* the race completes (CLI exit 0) and renders a result table;
+* the run manifest parses and carries the ``serve`` block with a
+  per-policy entry holding a non-empty request count, throughput and a
+  numeric p99 (the streams are long enough to clear the quantile
+  sample floor — a ``None`` p99 here means the workload shrank below
+  what the SLO gate can even observe);
+* per-tenant stats are present and every tenant completed its
+  requests.
+
+This is ``make serve-smoke``, part of ``make verify`` — the cheap
+end-to-end proof that the serving stack stays wired: KV server ->
+policy driver -> histograms/SLO gate -> CLI manifest. See
+docs/serving.md.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+
+def fail(msg: str) -> None:
+    print(f"serve-smoke: FAIL — {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve_smoke.") as tmp:
+        out = Path(tmp)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "serve",
+                "--tenants",
+                "2",
+                "--requests",
+                "200",
+                "--policies",
+                "nexttouch",
+                "--json",
+                str(out),
+            ],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            fail(f"serve run exited {proc.returncode}")
+        if "req/s" not in proc.stdout:
+            fail("serve run printed no result table")
+
+        manifest_path = out / "serve.manifest.json"
+        if not manifest_path.exists():
+            fail(f"{manifest_path.name} not written")
+        manifest = json.loads(manifest_path.read_text())
+        serve = manifest.get("serve")
+        if not serve:
+            fail("manifest has no 'serve' block")
+        if not isinstance(serve.get("slo_us"), float):
+            fail(f"serve block has no numeric slo_us: {serve.get('slo_us')!r}")
+        policies = serve.get("policies") or {}
+        if set(policies) != {"nexttouch"}:
+            fail(f"expected exactly the raced policy, got {sorted(policies)}")
+        stats = policies["nexttouch"]
+        if stats["requests"] != 2 * 2 * 200:
+            fail(f"expected 800 requests, got {stats['requests']}")
+        if not stats["throughput_rps"] or stats["throughput_rps"] <= 0:
+            fail(f"non-positive throughput: {stats['throughput_rps']!r}")
+        p99 = stats["latency_us"]["p99"]
+        if not isinstance(p99, float) or p99 <= 0:
+            fail(f"empty or non-numeric p99: {p99!r}")
+        tenants = stats.get("tenants") or {}
+        if len(tenants) != 2:
+            fail(f"expected 2 tenant stat blocks, got {sorted(tenants)}")
+        for name, tstats in tenants.items():
+            if tstats["requests"] != 2 * 200:
+                fail(f"tenant {name}: {tstats['requests']} != 400 requests")
+            if tstats["latency_us"]["p99"] is None:
+                fail(f"tenant {name}: empty p99 reservoir")
+
+        metrics_path = out / "serve.metrics.json"
+        if not metrics_path.exists():
+            fail(f"{metrics_path.name} not written")
+        json.loads(metrics_path.read_text())
+
+    print(
+        f"serve-smoke: OK ({stats['requests']} requests, "
+        f"{stats['throughput_rps']:.0f} req/s, p99 {p99:.2f} us)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
