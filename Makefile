@@ -7,15 +7,15 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test verify bench bench-update bench-suite bench-full perf perf-update fuzz fuzz-quick docs-check trace-smoke serve-smoke experiments examples loc clean
+.PHONY: test verify bench bench-update bench-suite bench-full perf perf-parallel perf-update fuzz fuzz-quick docs-check trace-smoke serve-smoke experiments examples loc clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
 
 # The default local verification path: the tier-1 suite, the docs
 # linter, the end-to-end tracing and serving smoke tests and the host
-# wall-clock gate.
-verify: test docs-check trace-smoke serve-smoke perf
+# wall-clock gates (serial, then sharded across all host CPUs).
+verify: test docs-check trace-smoke serve-smoke perf perf-parallel
 
 # Differential fuzzing: random-but-seeded syscall workloads run against
 # both the kernel and the reference oracle (src/repro/check/), with the
@@ -50,6 +50,12 @@ bench-update:
 # benchmarks/BENCH_WALL_baseline.json. See docs/performance.md.
 perf:
 	$(PYTHON) tools/perf_bench.py --out results
+
+# The sharded wall-clock gate: same scenarios, but the fig4/fig5/fig7
+# sweeps fan out across every host CPU through the sharded sweep
+# runner (repro/experiments/parallel.py), one timed iteration each.
+perf-parallel:
+	$(PYTHON) tools/perf_bench.py --out results --quick --workers auto
 
 # Re-pin the wall-clock baseline (new hardware, or a reviewed change).
 perf-update:

@@ -557,6 +557,16 @@ def build_parser() -> argparse.ArgumentParser:
         "system after the run (see docs/correctness.md); exits non-zero "
         "on violations",
     )
+    parser.add_argument(
+        "--workers",
+        metavar="N",
+        default=None,
+        help="shard the fig4/fig5/fig7/serve sweeps across N worker "
+        "processes ('auto' = host CPU count); merged results, manifests "
+        "and metrics are byte-identical for every N (see "
+        "docs/performance.md); incompatible with --trace, --tracepoints, "
+        "--check and --profile",
+    )
     serve = parser.add_argument_group("serve (KV policy race)")
     serve.add_argument(
         "--tenants",
@@ -627,6 +637,99 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sweep_kwargs(name: str, args) -> dict:
+    """Translate CLI flags into :func:`parallel.run_sweep` kwargs,
+    mirroring the serial ``_run_*`` count selection exactly."""
+    if name == "serve":
+        return {
+            "serve_opts": {
+                "full": args.full,
+                "tenants": args.tenants,
+                "requests": args.requests,
+                "slo_us": args.slo_us,
+                "policies": args.policies,
+            }
+        }
+    if name == "fig7":
+        counts = (
+            default_page_counts(64, 32768)
+            if args.full
+            else [64, 256, 1024, 4096, 16384]
+        )
+    else:
+        counts = None if args.full else _QUICK_PAGES
+    return {"counts": counts}
+
+
+def _run_parallel(args) -> int:
+    """``--workers``: shard the sweep experiments across processes."""
+    from . import parallel
+
+    incompatible = [
+        flag
+        for flag, value in (
+            ("--trace", args.trace),
+            ("--tracepoints", args.tracepoints),
+            ("--profile", args.profile),
+            ("--check", args.check),
+        )
+        if value
+    ]
+    if incompatible:
+        print(
+            f"error: --workers cannot be combined with {', '.join(incompatible)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        workers = parallel.resolve_workers(args.workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        if name not in parallel.PARALLEL_EXPERIMENTS:
+            print(
+                f"[{name}: not a shardable sweep, running serially]",
+                file=sys.stderr,
+            )
+            results, outcome = _RUNNERS[name](args), None
+        else:
+            outcome = parallel.run_sweep(
+                name,
+                workers=workers,
+                collect=args.json is not None,
+                **_sweep_kwargs(name, args),
+            )
+            results = outcome.results
+        for result in results:
+            print(result.render())
+            print()
+            if args.csv is not None and hasattr(result, "save_csv"):
+                path = result.save_csv(args.csv)
+                print(f"[csv: {path}]", file=sys.stderr)
+            if args.json is not None and hasattr(result, "save_json"):
+                path = result.save_json(args.json)
+                print(f"[json: {path}]", file=sys.stderr)
+        if outcome is not None and args.json is not None:
+            os.makedirs(args.json, exist_ok=True)
+            manifest_path = os.path.join(args.json, f"{name}.manifest.json")
+            with open(manifest_path, "w") as fh:
+                json.dump(outcome.manifest, fh, indent=2)
+            metrics_path = os.path.join(args.json, f"{name}.metrics.json")
+            with open(metrics_path, "w") as fh:
+                json.dump(outcome.metrics, fh, indent=2)
+            print(f"[manifest: {manifest_path}]", file=sys.stderr)
+            print(f"[metrics: {metrics_path}]", file=sys.stderr)
+        wall = time.time() - start
+        print(
+            f"[{name} regenerated in {wall:.1f}s wall; workers={workers}]",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -634,6 +737,8 @@ def main(argv: list[str] | None = None) -> int:
         return _maybe_profile(args, "bench", lambda: _run_bench_gate(args))
     if args.experiment == "introspect":
         return _maybe_profile(args, "introspect", lambda: _run_introspect(args))
+    if args.workers is not None:
+        return _run_parallel(args)
     names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
     observing = (
         args.json is not None

@@ -25,7 +25,8 @@ from ..errors import Errno, SegmentationFault, SimulationError, SyscallError
 from ..util.units import PAGE_SHIFT, PAGE_SIZE
 from .core import Kernel
 from .fault import demand_zero_batch, demand_zero_run, handle_fault, nt_fault_batch
-from .pagetable import PTE_NEXTTOUCH, PTE_PRESENT, PTE_WRITE
+from .pagetable import PTE_COW, PTE_NEXTTOUCH, PTE_PRESENT, PTE_WRITE
+from .runops import cow_break_run, swap_in_run
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sched.thread import SimThread
@@ -185,6 +186,54 @@ def touch_range(
                 # per-page walk); the loop re-enters at that page.
                 run = _run_scan(idx, stop, span, _fresh)
                 turbo = demand_zero_run(kernel, thread, vma, idx, run, bpp, tag)
+                if turbo is not None:
+                    done, event = turbo
+                    yield event
+                    pos = vma.addr_of_page(idx) + (done << PAGE_SHIFT)
+                    retries = 0
+                    continue
+            elif (
+                not nt0
+                and int(pt.frame[idx]) < 0
+                and swap_table is not None
+                and int(swap_table[idx]) >= 0
+            ):
+                # Swap-in storm: same run-op shape as the demand-zero
+                # turbo, but each page pays the device round-trip.
+
+                def _swapped(lo: int, hi: int) -> np.ndarray:
+                    return (
+                        (pt.frame[lo:hi] < 0)
+                        & (swap_table[lo:hi] >= 0)
+                        & ((pt.flags[lo:hi] & PTE_NEXTTOUCH) == 0)
+                    )
+
+                run = _run_scan(idx, stop, span, _swapped)
+                turbo = swap_in_run(kernel, thread, vma, idx, run, bpp, tag)
+                if turbo is not None:
+                    done, event = turbo
+                    yield event
+                    pos = vma.addr_of_page(idx) + (done << PAGE_SHIFT)
+                    retries = 0
+                    continue
+            elif (
+                write
+                and (first & (PTE_PRESENT | PTE_COW)) == (PTE_PRESENT | PTE_COW)
+                and getattr(vma, "_file", None) is None
+            ):
+                # Write storm over COW pages after a fork: break the
+                # whole run in one replay (reuse or copy per page).
+
+                def _cow(lo: int, hi: int) -> np.ndarray:
+                    m = (pt.flags[lo:hi] & (PTE_PRESENT | PTE_COW)) == (
+                        PTE_PRESENT | PTE_COW
+                    )
+                    if swap_table is not None:
+                        m &= swap_table[lo:hi] < 0
+                    return m
+
+                run = _run_scan(idx, stop, span, _cow)
+                turbo = cow_break_run(kernel, thread, vma, idx, run, bpp, tag)
                 if turbo is not None:
                     done, event = turbo
                     yield event

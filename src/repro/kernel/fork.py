@@ -24,6 +24,7 @@ from ..obs import tracepoints
 from ..util.units import PAGE_SIZE
 from .core import Kernel, SimProcess
 from .pagetable import PTE_COW, PTE_PRESENT, PTE_WRITE
+from .runops import charge_stages
 from .vma import Vma
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -88,10 +89,13 @@ def sys_fork(kernel: Kernel, thread: "SimThread"):
             tracepoints.emit(
                 "fork:dup", kernel, pid=parent.pid, child=child.pid, ptes=copied_ptes
             )
-        yield kernel.charge(
-            "fork", kernel.cost.mmap_base_us * 4 + 0.02 * copied_ptes
+        yield from charge_stages(
+            kernel,
+            (
+                ("fork", kernel.cost.mmap_base_us * 4 + 0.02 * copied_ptes),
+                ("fork", lambda: kernel.tlb_shootdown_cost(parent, thread.core, 1)),
+            ),
         )
-        yield kernel.tlb_shootdown(parent, thread.core, tag="fork")
     finally:
         parent.mmap_sem.release_write()
     if kernel.debug_checks:

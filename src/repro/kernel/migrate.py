@@ -29,6 +29,7 @@ import numpy as np
 from ..obs import tracepoints
 from ..util.units import PAGE_SIZE
 from .core import Kernel
+from .runops import migrate_run
 from .vma import Vma
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -59,6 +60,13 @@ def migrate_vma_pages(
     idxs = idxs[vma.pt.node[idxs] != dest_node]
     if idxs.size == 0:
         return 0
+    turbo = migrate_run(
+        kernel, thread, vma, idxs, dest_node, control_us=control_us, tag=tag
+    )
+    if turbo is not None:
+        moved, event = turbo
+        yield event
+        return moved
     moved = 0
     process = thread.process
     cost = kernel.cost

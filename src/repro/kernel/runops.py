@@ -1,0 +1,538 @@
+"""Run-granular kernel operations — contiguous page runs as the
+native unit of work.
+
+The wall-clock fast paths introduced for demand-zero faults
+(:func:`~repro.kernel.fault.demand_zero_run`) generalize: whenever the
+:meth:`~repro.kernel.core.Kernel.turbo_ok` gate holds, a run of
+back-to-back per-page kernel operations can be replayed inline —
+page-table commits in bulk NumPy operations, clock and ledger advanced
+with the exact float arithmetic of the per-page walk, lock statistics
+booked without round-tripping the event engine — and completed with a
+single ``timeout_at`` event.
+
+This module hosts the run-ops shared by the hot paths:
+
+* :func:`migrate_run` — the synchronous migration engine
+  (``move_pages`` / ``migrate_pages`` / ``mbind(move=True)``) replayed
+  chunk by chunk without per-chunk engine events;
+* :func:`cow_break_run` — a storm of copy-on-write break faults after
+  ``fork`` (the per-page ``batch=1`` touch path);
+* :func:`swap_in_run` — a storm of swap-in faults, with slot frees and
+  frame allocation batched via :meth:`FrameAllocator.alloc_seq`;
+* :func:`charge_stages` — the generic "N consecutive charges, one
+  event" fold used by ``fork``/``mprotect``/``madvise`` tails;
+* :func:`replay_transfer` — an exact inline replay of an uncontended
+  :class:`~repro.sim.resources.BandwidthResource` transfer (same float
+  wake arithmetic, same byte counters), so run-ops can fold channel
+  I/O into their virtual clock.
+
+Every run-op is all-or-nothing: it either replays the whole run with
+bit-identical simulated state, or returns ``None`` and the caller
+falls back to the per-page reference path.  ``REPRO_SLOW_PATH=1`` /
+``kernel.force_slow_path`` disable them wholesale (see
+``docs/performance.md`` and ``tests/test_fastpath_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..util.units import PAGE_SHIFT, PAGE_SIZE
+from .core import Kernel
+from .fault import _access_cost_us_single
+from .pagetable import PTE_COW, PTE_PRESENT, PTE_WRITE
+from .vma import Vma
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sched.thread import SimThread
+    from ..sim.resources import BandwidthResource
+
+__all__ = [
+    "charge_stages",
+    "replay_transfer",
+    "migrate_run",
+    "cow_break_run",
+    "swap_in_run",
+]
+
+
+def charge_stages(kernel: Kernel, stages):
+    """Yield the charges of ``stages`` — one engine event when turbo.
+
+    ``stages`` is a sequence of ``(tag, duration)`` pairs; ``duration``
+    may be a zero-argument callable evaluated at charge time (so cost
+    expressions with counter side effects — e.g.
+    :meth:`Kernel.tlb_shootdown_cost` — bump their stats in the same
+    order as the per-charge path).  Under :meth:`Kernel.turbo_ok` the
+    ledger entries and the completion instant are folded into a single
+    ``timeout_at`` with the per-charge float arithmetic; otherwise each
+    stage is a separate :meth:`Kernel.charge` event.
+    """
+    if kernel.turbo_ok():
+        t = kernel.env.now
+        add = kernel.ledger.add
+        for tag, duration_us in stages:
+            if callable(duration_us):
+                duration_us = duration_us()
+            add(tag, duration_us)
+            t = t + duration_us
+        yield kernel.env.timeout_at(t)
+    else:
+        for tag, duration_us in stages:
+            if callable(duration_us):
+                duration_us = duration_us()
+            yield kernel.charge(tag, duration_us)
+
+
+def replay_transfer(
+    channel: "BandwidthResource", nbytes: float, max_rate: Optional[float], t: float
+) -> float:
+    """Advance virtual time ``t`` across one uncontended transfer.
+
+    Replays ``channel.transfer(nbytes, max_rate)`` against an idle
+    channel without creating engine events: the same water-filled rate,
+    the same residual-epsilon check, and the same completion-wake float
+    rounding (``fl(fl(t + d) - t)`` is *not* ``d``), so the returned
+    completion time and the channel's byte counters are bit-identical
+    to the event-driven path.  Callers must hold the turbo gate and
+    guarantee ``channel._active`` is empty.
+    """
+    total = float(nbytes)
+    if total == 0:
+        return t
+    remaining = total
+    rate = channel.capacity
+    if max_rate is not None and max_rate < rate:
+        rate = max_rate
+    channel._last_update = t  # transfer()'s _advance with nothing active
+    while True:
+        channel._wake_generation += 1  # _reschedule entry
+        eps = max(1e-9, 8.0 * math.ulp(t))
+        if remaining / rate <= eps:
+            # Residual: finishes *now* rather than scheduling a wake
+            # that could not advance the float clock.
+            channel.bytes_transferred += total
+            channel._busy_integral += max(0.0, remaining)
+            channel._wake_generation += 1  # recursive _reschedule
+            channel._last_update = t
+            return t
+        t_new = t + remaining / rate  # the wake's firing instant
+        dt = t_new - t  # float round-trip, not exactly remaining/rate
+        moved = rate * dt
+        remaining -= moved
+        channel._busy_integral += moved
+        channel._last_update = t_new
+        t = t_new
+        if remaining <= 1e-6:  # finished inside the wake's _advance
+            channel.bytes_transferred += total
+            channel._wake_generation += 1  # the wake's _reschedule
+            return t
+        # Not finished: loop top is the wake's _reschedule.
+
+
+def _pmd_locks(process, vma: Vma, idx: int, run: int):
+    """The split PTLs covering ``run`` pages from ``idx``, or ``None``
+    if any is held or has parked waiters (the run-op must bail)."""
+    q0 = (vma.start >> PAGE_SHIFT) + idx
+    key0 = q0 >> 9
+    locks = []
+    for key in range(key0, ((q0 + run - 1) >> 9) + 1):
+        page = idx if key == key0 else (key << 9) - (vma.start >> PAGE_SHIFT)
+        lock = process.ptl(vma.start, page)
+        if lock._available <= 0 or lock._waiters:
+            return None
+        locks.append(lock)
+    return locks
+
+
+# --------------------------------------------------------------- migrate ---
+def migrate_run(
+    kernel: Kernel,
+    thread: "SimThread",
+    vma: Vma,
+    idxs: np.ndarray,
+    dest_node: int,
+    *,
+    control_us: float,
+    tag: str,
+):
+    """Replay the whole pagevec-chunked migration of ``idxs`` inline.
+
+    Mirrors :func:`~repro.kernel.migrate.migrate_vma_pages` chunk for
+    chunk — rmap/LRU lock statistics, per-chunk control + shootdown
+    ledger folds, per-source-node channel copies and putback — with a
+    single completion event for the entire run.  Returns
+    ``(moved, event)`` or ``None`` to fall back.  ``idxs`` must already
+    be filtered to populated pages not on ``dest_node``.
+    """
+    if not kernel.turbo_ok():
+        return None
+    process = thread.process
+    anon_vma = vma.anon_vma
+    if anon_vma is not None and (anon_vma._available <= 0 or anon_vma._waiters):
+        return None
+    pt = vma.pt
+    all_src = pt.node[idxs]
+    srcs_all = np.unique(all_src)
+    lru_locks = kernel.lru_locks
+    lru = lru_locks[dest_node]
+    if lru._available <= 0 or lru._waiters:
+        return None
+    for src in srcs_all:
+        lru = lru_locks[int(src)]
+        if lru._available <= 0 or lru._waiters:
+            return None
+    size = int(idxs.size)
+    if kernel.allocators[dest_node].free < size:
+        return None
+    channel = kernel.migration_channel(process)
+    if channel._active:
+        return None
+    cost = kernel.cost
+    env = kernel.env
+    led = kernel.ledger
+    control_tag = f"{tag}.control"
+    copy_tag = f"{tag}.copy"
+    chunk_size = max(1, cost.migrate_pagevec)
+    half_hold = cost.lru_lock_hold_us / 2
+    copy_bw = cost.kernel_page_copy_bw
+    single_src = srcs_all.size == 1
+    src0 = int(srcs_all[0]) if single_src else -1
+    # Allocate chunk by chunk — the allocator's free-tail order depends
+    # on the call sequence — then commit the whole remap in two
+    # vectorized stores and one payload move (frames are distinct
+    # within a VMA, so batching cannot reorder anything observable).
+    all_old = pt.frame[idxs].copy()
+    new_parts = [
+        kernel.alloc_on(dest_node, min(chunk_size, size - lo))
+        for lo in range(0, size, chunk_size)
+    ]
+    all_new = np.concatenate(new_parts) if len(new_parts) > 1 else new_parts[0]
+    kernel.move_contents(all_old, all_new)
+    pt.frame[idxs] = all_new
+    pt.node[idxs] = dest_node
+    # Clock/ledger/lock-stat replay: per-chunk float arithmetic exactly
+    # as the per-chunk path books it, but with no engine events and —
+    # for the common single-source run — no per-chunk array work.
+    anon_stats = anon_vma.stats if anon_vma is not None else None
+    dest_lru_stats = lru_locks[dest_node].stats
+    t = env.now
+    moved = 0
+    for lo in range(0, size, chunk_size):
+        k = chunk_size if lo + chunk_size <= size else size - lo
+        if anon_stats is not None:
+            anon_stats.acquisitions += 1
+            t_anon = t
+        # Control + per-page TLB shootdowns: booked separately, slept
+        # once — the same fold the chunked turbo branch used.
+        c = control_us * k
+        led.add(control_tag, c)
+        t = t + c
+        c = kernel.tlb_shootdown_cost(process, thread.core, k)
+        led.add(control_tag, c)
+        t = t + c
+        # Destination LRU lock held across the alloc charge.
+        dest_lru_stats.acquisitions += 1
+        since = t
+        c = half_hold * k
+        led.add(control_tag, c)
+        t = t + c
+        dest_lru_stats.hold_time += t - since
+        if anon_stats is not None:
+            anon_stats.hold_time += t - t_anon
+        # Copy outside the rmap lock, grouped by source node, then put
+        # the old frames back under their source LRU locks.
+        t0 = t
+        if single_src:
+            t = replay_transfer(channel, float(k) * PAGE_SIZE, copy_bw, t)
+            led.add(copy_tag, t - t0)
+            stats = lru_locks[src0].stats
+            stats.acquisitions += 1
+            since = t
+            c = half_hold * k
+            led.add(control_tag, c)
+            t = t + c
+            stats.hold_time += t - since
+        else:
+            src_nodes = all_src[lo : lo + k]
+            srcs = np.unique(src_nodes)
+            for src in srcs:
+                count = int(np.count_nonzero(src_nodes == src))
+                t = replay_transfer(channel, float(count) * PAGE_SIZE, copy_bw, t)
+            led.add(copy_tag, t - t0)
+            for src in srcs:
+                stats = lru_locks[int(src)].stats
+                stats.acquisitions += 1
+                since = t
+                c = half_hold * int(np.count_nonzero(src_nodes == src))
+                led.add(control_tag, c)
+                t = t + c
+                stats.hold_time += t - since
+        moved += k
+    kernel.stats.pages_migrated += moved
+    # The frees the per-chunk putback would have done, in the same
+    # per-allocator append order (index order within each source node).
+    kernel.release_frames(all_old)
+    return moved, env.timeout_at(t)
+
+
+# -------------------------------------------------------------- cow break ---
+def cow_break_run(
+    kernel: Kernel,
+    thread: "SimThread",
+    vma: Vma,
+    idx: int,
+    run: int,
+    bytes_per_page: float,
+    tag: str,
+):
+    """Replay ``run`` back-to-back copy-on-write break faults inline.
+
+    The ``batch=1`` write storm after a ``fork``: each page pays fault
+    entry, takes its split PTL, either re-arms the write bit (sole
+    owner) or copies to the toucher's node (shared frame), and — for
+    every page but the last — the interleaved access charge.  Returns
+    ``(run - 1, event)`` like :func:`demand_zero_run` (the last page's
+    access merges with the following valid run), or ``None``.
+    """
+    if run < 1 or not kernel.turbo_ok():
+        return None
+    if kernel.access_profiler is not None:
+        return None
+    process = thread.process
+    sem = process.mmap_sem
+    if sem._writer or sem._wait_writers:
+        return None
+    pt = vma.pt
+    frames = pt.frame[idx : idx + run]
+    if np.unique(frames).size != run:
+        return None  # aliased frames: per-page refcounts would drift
+    shared = kernel.frames_shared_mask(frames)
+    n_shared = int(np.count_nonzero(shared))
+    dest = kernel.machine.node_of_core(thread.core)
+    if n_shared and kernel.allocators[dest].free < n_shared:
+        return None
+    channel = None
+    if n_shared and bool(np.any(shared & (pt.node[idx : idx + run] != dest))):
+        # At least one remote copy: the per-page path would route it
+        # through the process migration channel (creating it lazily).
+        channel = kernel.migration_channel(process)
+        if channel._active:
+            return None
+    ptl_locks = _pmd_locks(process, vma, idx, run)
+    if ptl_locks is None:
+        return None
+    # --- per-page float replay -----------------------------------------
+    cost = kernel.cost
+    env = kernel.env
+    led = kernel.ledger
+    entry_us = cost.fault_entry_us
+    ctrl_us = cost.nt_fault_control_us
+    copy_bw = cost.kernel_page_copy_bw
+    local_copy_us = float(PAGE_SIZE) / copy_bw
+    t = env.now
+    tot_entry = led.totals["fault.entry"]
+    tot_reuse = led.totals["cow.reuse"] if n_shared < run else 0.0
+    tot_control = led.totals["cow.control"] if n_shared else 0.0
+    acc_total = led.totals[tag] if (run > 1 and bytes_per_page > 0) else 0.0
+    acc_count = 0
+    acc_cache: dict[int, float] = {}
+    last = run - 1
+    pmd_group = 0
+    pmd_acq = 0
+    # Seed the hold accumulator from the lock's running total: the slow
+    # path folds each page's hold into stats.hold_time sequentially, and
+    # float addition is order-sensitive, so the replay must add into the
+    # same running value rather than sum locally and add once.
+    pmd_hold = ptl_locks[0].stats.hold_time
+    q0 = (vma.start >> PAGE_SHIFT) + idx
+    boundary = (((q0 >> 9) + 1) << 9) - q0
+    for j in range(run):
+        if j == boundary:
+            stats = ptl_locks[pmd_group].stats
+            stats.acquisitions += pmd_acq
+            stats.hold_time = pmd_hold
+            pmd_group += 1
+            pmd_acq = 0
+            pmd_hold = ptl_locks[pmd_group].stats.hold_time
+            boundary += 512
+        i = idx + j
+        flags = int(pt.flags[i])
+        t = t + entry_us
+        tot_entry = tot_entry + entry_us
+        since = t  # PTL taken after the entry charge
+        pmd_acq += 1
+        if not shared[j]:
+            # Sole owner: re-arm the write bit, charge cow.reuse.
+            pt.flags[i] = np.uint16((flags & ~PTE_COW) | PTE_PRESENT | PTE_WRITE)
+            tot_reuse = tot_reuse + ctrl_us
+            t = t + ctrl_us
+            node_after = int(pt.node[i])
+        else:
+            frame = int(pt.frame[i])
+            src_node = int(pt.node[i])
+            new_frame = int(kernel.alloc_on(dest, 1)[0])
+            if kernel.track_contents:
+                data = kernel.page_data.get(frame)
+                if data is not None:
+                    kernel.page_data[new_frame] = data.copy()
+            pt.frame[i] = new_frame
+            pt.node[i] = dest
+            pt.flags[i] = np.uint16((flags & ~PTE_COW) | PTE_PRESENT | PTE_WRITE)
+            kernel.release_frames(np.asarray([frame]))
+            tot_control = tot_control + ctrl_us
+            t = t + ctrl_us
+            if src_node == dest:
+                t = t + local_copy_us
+            else:
+                t = replay_transfer(channel, float(PAGE_SIZE), copy_bw, t)
+            node_after = dest
+        pmd_hold = pmd_hold + (t - since)
+        if j != last and bytes_per_page > 0:
+            acc = acc_cache.get(node_after)
+            if acc is None:
+                acc = acc_cache[node_after] = _access_cost_us_single(
+                    kernel, dest, node_after, bytes_per_page
+                )
+            if acc > 0:
+                acc_total = acc_total + acc
+                acc_count += 1
+                t = t + acc
+    stats = ptl_locks[pmd_group].stats
+    stats.acquisitions += pmd_acq
+    stats.hold_time = pmd_hold
+    sem.stats.acquisitions += run
+    kernel.stats.cow_faults += run
+    led.totals["fault.entry"] = tot_entry
+    led.counts["fault.entry"] += run
+    if n_shared < run:
+        led.totals["cow.reuse"] = tot_reuse
+        led.counts["cow.reuse"] += run - n_shared
+    if n_shared:
+        led.totals["cow.control"] = tot_control
+        led.counts["cow.control"] += n_shared
+        led.totals["cow.copy"] += 0.0  # per-page adds of 0.0
+        led.counts["cow.copy"] += n_shared
+    if acc_count:
+        led.totals[tag] = acc_total
+        led.counts[tag] += acc_count
+    return run - 1, env.timeout_at(t)
+
+
+# ---------------------------------------------------------------- swap in ---
+def swap_in_run(
+    kernel: Kernel,
+    thread: "SimThread",
+    vma: Vma,
+    idx: int,
+    run: int,
+    bytes_per_page: float,
+    tag: str,
+):
+    """Replay ``run`` back-to-back swap-in faults inline.
+
+    Frames come in one :meth:`FrameAllocator.alloc_seq` batch, swap
+    slots are freed in bulk, and the page table is committed with a
+    single ``map_pages`` — while the clock replays each fault's entry
+    charge, device transfer and PTL hold in per-page float order.
+    Returns ``(run - 1, event)`` or ``None``.
+    """
+    if run < 1 or not kernel.turbo_ok():
+        return None
+    if kernel.access_profiler is not None:
+        return None
+    device = getattr(kernel, "swap", None)
+    if device is None:
+        return None
+    process = thread.process
+    sem = process.mmap_sem
+    if sem._writer or sem._wait_writers:
+        return None
+    channel = device.channel
+    if channel._active:
+        return None
+    dest = kernel.machine.node_of_core(thread.core)
+    if kernel.allocators[dest].free < run:
+        return None
+    ptl_locks = _pmd_locks(process, vma, idx, run)
+    if ptl_locks is None:
+        return None
+    # --- bulk commit ----------------------------------------------------
+    pt = vma.pt
+    table = pt._swap_slots
+    span = slice(idx, idx + run)
+    slots = table[span].copy()
+    frames = kernel.allocators[dest].alloc_seq(run)
+    if kernel.track_contents:
+        for frame, slot in zip(frames, slots):
+            data = device.slot_data.get(int(slot))
+            if data is not None:
+                kernel.page_data[int(frame)] = data
+    pt.map_pages(span, frames, np.full(run, dest, dtype=np.int16), vma.allows(True))
+    table[span] = -1
+    device.free_slots(slots)
+    device.pages_in += run
+    sem.stats.acquisitions += run
+    # --- per-page float replay ------------------------------------------
+    cost = kernel.cost
+    env = kernel.env
+    led = kernel.ledger
+    entry_us = cost.fault_entry_us
+    io_bytes = float(PAGE_SIZE) + device.op_latency_us * channel.capacity
+    t = env.now
+    tot_entry = led.totals["fault.entry"]
+    tot_fault = led.totals["swap.in.fault"]
+    tot_io = led.totals["swap.in"]
+    acc_total = led.totals[tag] if (run > 1 and bytes_per_page > 0) else 0.0
+    acc_count = 0
+    acc = _access_cost_us_single(kernel, dest, dest, bytes_per_page) if (
+        run > 1 and bytes_per_page > 0
+    ) else 0.0
+    last = run - 1
+    pmd_group = 0
+    pmd_acq = 0
+    # Seeded from the lock's running total: the slow path folds each
+    # page's hold into stats.hold_time sequentially, and float addition
+    # is order-sensitive (see cow_break_run).
+    pmd_hold = ptl_locks[0].stats.hold_time
+    q0 = (vma.start >> PAGE_SHIFT) + idx
+    boundary = (((q0 >> 9) + 1) << 9) - q0
+    for j in range(run):
+        if j == boundary:
+            stats = ptl_locks[pmd_group].stats
+            stats.acquisitions += pmd_acq
+            stats.hold_time = pmd_hold
+            pmd_group += 1
+            pmd_acq = 0
+            pmd_hold = ptl_locks[pmd_group].stats.hold_time
+            boundary += 512
+        t = t + entry_us  # fault.entry, before mmap_sem/PTL
+        tot_entry = tot_entry + entry_us
+        since = t
+        pmd_acq += 1
+        tot_fault = tot_fault + entry_us  # swap.in.fault (k == 1)
+        t = t + entry_us
+        t0 = t
+        t = replay_transfer(channel, io_bytes, None, t)
+        tot_io = tot_io + (t - t0)
+        pmd_hold = pmd_hold + (t - since)
+        if j != last and acc > 0:
+            acc_total = acc_total + acc
+            acc_count += 1
+            t = t + acc
+    stats = ptl_locks[pmd_group].stats
+    stats.acquisitions += pmd_acq
+    stats.hold_time = pmd_hold
+    led.totals["fault.entry"] = tot_entry
+    led.counts["fault.entry"] += run
+    led.totals["swap.in.fault"] = tot_fault
+    led.counts["swap.in.fault"] += run
+    led.totals["swap.in"] = tot_io
+    led.counts["swap.in"] += run
+    if acc_count:
+        led.totals[tag] = acc_total
+        led.counts[tag] += acc_count
+    return run - 1, env.timeout_at(t)

@@ -35,6 +35,7 @@ from ..sim.engine import Environment
 from ..sim.resources import BandwidthResource
 from ..util.units import PAGE_SIZE
 from .core import Kernel
+from .runops import replay_transfer
 from .vma import Vma
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -166,6 +167,26 @@ def sys_swap_out(kernel: Kernel, thread: "SimThread", addr: int, nbytes: int):
                         device.slot_data[int(slot)] = data
             src_nodes = vma.pt.node[idxs].copy()
             # Write to disk, then tear down the mappings.
+            if kernel.turbo_ok() and not device.channel._active:
+                # Run-granular swap-out: replay the device transfer and
+                # the shootdown charge inline, sleep once per segment.
+                t_io = replay_transfer(
+                    device.channel,
+                    float(int(idxs.size) * PAGE_SIZE)
+                    + device.op_latency_us * device.channel.capacity,
+                    None,
+                    kernel.env.now,
+                )
+                kernel.ledger.add("swap.out", 0.0)
+                vma.pt.unmap_pages(idxs)
+                table[idxs] = slots
+                kernel.release_frames(frames)
+                device.pages_out += int(idxs.size)
+                written += int(idxs.size)
+                shoot = kernel.tlb_shootdown_cost(process, thread.core, 1)
+                kernel.ledger.add("swap.out", shoot)
+                yield kernel.env.timeout_at(t_io + shoot)
+                continue
             yield device.io_event(int(idxs.size))
             kernel.ledger.add("swap.out", 0.0)
             if tracepoints.active(kernel):

@@ -22,10 +22,11 @@ import numpy as np
 
 from ..errors import Errno, SyscallError
 from ..obs import tracepoints
-from ..util.units import PAGE_SIZE
+from ..util.units import PAGE_SHIFT, PAGE_SIZE
 from .core import Kernel, SimProcess
 from .mempolicy import MemPolicy
 from .migrate import migrate_vma_pages
+from .runops import charge_stages
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sched.thread import SimThread
@@ -106,10 +107,13 @@ def sys_mprotect(
     yield process.mmap_sem.acquire_write()
     try:
         changed = process.addr_space.apply_protection(addr, nbytes, prot)
-        yield kernel.charge(tag, cost.mprotect_base_us + cost.mprotect_page_us * npages)
+        stages = [(tag, cost.mprotect_base_us + cost.mprotect_page_us * npages)]
         if changed:
             # Any PTE hardware-bit change must be visible machine-wide.
-            yield kernel.tlb_shootdown(process, thread.core, tag=tag)
+            stages.append(
+                (tag, lambda: kernel.tlb_shootdown_cost(process, thread.core, 1))
+            )
+        yield from charge_stages(kernel, stages)
     finally:
         process.mmap_sem.release_write()
     if kernel.debug_checks:
@@ -144,23 +148,25 @@ def sys_madvise(kernel: Kernel, thread: "SimThread", addr: int, nbytes: int, adv
                     )
             for vma, first, stop in segments:
                 affected += vma.pt.mark_next_touch(slice(first, stop))
-            yield kernel.charge(
-                "madvise", cost.madvise_base_us + cost.madvise_page_us * affected
-            )
+            stages = [("madvise", cost.madvise_base_us + cost.madvise_page_us * affected)]
             if affected:
                 # The unmap of valid PTEs must be flushed everywhere
                 # before the marking is effective.
-                yield kernel.tlb_shootdown(process, thread.core, tag="madvise")
+                stages.append(
+                    ("madvise", lambda: kernel.tlb_shootdown_cost(process, thread.core, 1))
+                )
+            yield from charge_stages(kernel, stages)
         elif advice is Madvise.DONTNEED:
             for vma, first, stop in segments:
                 frames, _nodes = vma.pt.unmap_pages(slice(first, stop))
                 kernel.release_frames(frames)
                 affected += int(frames.size)
-            yield kernel.charge(
-                "madvise", cost.madvise_base_us + cost.madvise_page_us * affected
-            )
+            stages = [("madvise", cost.madvise_base_us + cost.madvise_page_us * affected)]
             if affected:
-                yield kernel.tlb_shootdown(process, thread.core, tag="madvise")
+                stages.append(
+                    ("madvise", lambda: kernel.tlb_shootdown_cost(process, thread.core, 1))
+                )
+            yield from charge_stages(kernel, stages)
         else:  # pragma: no cover - enum is exhaustive
             raise SyscallError(Errno.EINVAL, f"unknown advice {advice}")
     finally:
@@ -263,17 +269,20 @@ def sys_move_pages(
             vma, first_idx = resolved
             dest = int(node_arr[i])
             # Extend the run: consecutive array entries that fall in the
-            # same VMA with the same destination.
-            j = i + 1
-            expected = int(pages[i]) + PAGE_SIZE
-            while (
-                j < n
-                and node_arr[j] == dest
-                and pages[j] == expected
-                and vma.contains(int(pages[j]))
-            ):
-                expected += PAGE_SIZE
-                j += 1
+            # same VMA with the same destination. Contiguity forces
+            # ascending addresses, so VMA membership reduces to a cap at
+            # the VMA's end address and the scan vectorizes.
+            max_run = min(n - i, (vma.end - int(pages[i])) >> PAGE_SHIFT)
+            if max_run > 1:
+                seg = slice(i + 1, i + max_run)
+                ok = (node_arr[seg] == dest) & (
+                    pages[seg]
+                    == int(pages[i]) + (np.arange(1, max_run, dtype=np.int64) << PAGE_SHIFT)
+                )
+                bad = np.flatnonzero(~ok)
+                j = i + (int(bad[0]) + 1 if bad.size else max_run)
+            else:
+                j = i + 1
             run = np.arange(first_idx, first_idx + (j - i), dtype=np.int64)
             if not patched:
                 # Historic bug: resolving each page's target scans the

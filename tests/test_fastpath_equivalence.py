@@ -298,6 +298,313 @@ def test_turbo_demand_zero_matches_slow_path(interleave):
     assert not diffs, "\n".join(diffs[:12])
 
 
+# ------------------------------------------------------- run-op layer ----
+# Targeted scenarios for the run-granular kernel ops (runops.py): each
+# drives one run-op — migrate_run, cow_break_run, swap_in_run — plus
+# its edge shapes (VMA straddling, partial presence, lock waiters,
+# zero length), always against the forced-slow twin.
+
+
+def _spawn(ex: _Executor, proc, core: int, body):
+    """Run one thread to completion on ``ex``'s system."""
+    ex.steps += 1
+    thread = ex.system.spawn(proc, core, body, name=f"runop{ex.steps}")
+    return ex.system.run_to(thread.join())
+
+
+def _assert_script_equivalent(script, bytes_per_page: float = 0.0):
+    """Replay ``script(ex)`` fast and forced-slow; states must match."""
+
+    def run(slow: bool) -> _Executor:
+        ex = _Executor(slow=slow, bytes_per_page=bytes_per_page)
+        script(ex)
+        return ex
+
+    fast, slow = run(False), run(True)
+    diffs = _diff(fast.canonical(), slow.canonical())
+    assert not diffs, "\n".join(diffs[:12])
+    return fast, slow
+
+
+@pytest.mark.parametrize("multi_src", [False, True])
+def test_migrate_run_matches_slow_path(multi_src):
+    """A 1500-page move_pages call: single-source (bind) and
+    multi-source (interleaved) runs through migrate_run."""
+
+    def script(ex):
+        proc = ex.procs["p0"]
+        npages = 1500
+
+        def body(t):
+            addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW)
+            if multi_src:
+                yield from t.mbind(
+                    addr, npages * PAGE_SIZE, MemPolicy.interleave(0, 1, 2, 3)
+                )
+            yield from t.touch(addr, npages * PAGE_SIZE)
+            yield from t.move_range(addr, npages * PAGE_SIZE, 1)
+
+        _spawn(ex, proc, 0, body)
+
+    _assert_script_equivalent(script)
+
+
+@pytest.mark.parametrize("bytes_per_page", [0.0, float(PAGE_SIZE)])
+def test_cow_break_run_matches_slow_path(bytes_per_page):
+    """The batch=1 write storm after fork: shared frames copy, the
+    sole-owner half (child unmapped it) re-arms the write bit."""
+
+    def script(ex):
+        proc = ex.procs["p0"]
+        npages = 600
+        shared = {}
+
+        def parent_setup(t):
+            addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW)
+            yield from t.touch(addr, npages * PAGE_SIZE)
+            shared["addr"] = addr
+            shared["child"] = yield from t.fork()
+
+        _spawn(ex, proc, 0, parent_setup)
+
+        def child_trim(t):
+            # Release the child's first half: those parent pages become
+            # sole-owner, so the run mixes cow.reuse and cow.copy.
+            yield from t.munmap(shared["addr"], (npages // 2) * PAGE_SIZE)
+
+        _spawn(ex, shared["child"], 0, child_trim)
+        toucher_core = ex.system.machine.cores_of_node(1)[0]
+
+        def parent_touch(t):
+            yield from t.touch(
+                shared["addr"],
+                npages * PAGE_SIZE,
+                write=True,
+                batch=1,
+                bytes_per_page=ex.bytes_per_page,
+            )
+
+        _spawn(ex, proc, toucher_core, parent_touch)
+
+    _assert_script_equivalent(script, bytes_per_page=bytes_per_page)
+
+
+@pytest.mark.parametrize("bytes_per_page", [0.0, float(PAGE_SIZE)])
+def test_swap_in_run_matches_slow_path(bytes_per_page):
+    """Forced swap-out then a batch=1 touch storm: run-granular
+    swap-out and swap_in_run, faulting back on the toucher's node."""
+
+    def script(ex):
+        proc = ex.procs["p0"]
+        npages = 800
+        shared = {}
+
+        def setup(t):
+            addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW)
+            yield from t.touch(addr, npages * PAGE_SIZE)
+            yield from t.swap_out(addr, npages * PAGE_SIZE)
+            shared["addr"] = addr
+
+        _spawn(ex, proc, 0, setup)
+        toucher_core = ex.system.machine.cores_of_node(1)[0]
+
+        def toucher(t):
+            yield from t.touch(
+                shared["addr"],
+                npages * PAGE_SIZE,
+                write=True,
+                batch=1,
+                bytes_per_page=ex.bytes_per_page,
+            )
+
+        _spawn(ex, proc, toucher_core, toucher)
+
+    _assert_script_equivalent(script, bytes_per_page=bytes_per_page)
+
+
+def test_run_straddling_vma_boundary():
+    """Adjacent VMAs (one mapping split three ways by mprotect):
+    touches, next-touch marks and a move_pages call spanning the
+    boundaries split into per-VMA runs on both paths."""
+    from repro.kernel.vma import PROT_READ
+
+    def script(ex):
+        proc = ex.procs["p0"]
+        npages = 500
+        shared = {}
+
+        def setup(t):
+            addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW)
+            total = npages * PAGE_SIZE
+            # Downgrade the middle: the mapping splits into three
+            # adjacent VMAs, so every whole-range call below straddles.
+            yield from t.mprotect(addr + 200 * PAGE_SIZE, 100 * PAGE_SIZE, PROT_READ)
+            yield from t.touch(addr, total, write=False)
+            yield from t.move_range(addr, total, 1)
+            yield from t.madvise(addr, total, Madvise.NEXTTOUCH)
+            shared["addr"], shared["total"] = addr, total
+
+        _spawn(ex, proc, 0, setup)
+        assert (
+            sum(1 for v in proc.addr_space.vmas if v.npages in (100, 200)) >= 3
+        ), "mprotect must have split the mapping"
+        toucher_core = ex.system.machine.cores_of_node(2)[0]
+
+        def toucher(t):
+            yield from t.touch(shared["addr"], shared["total"], write=False, batch=1)
+
+        _spawn(ex, proc, toucher_core, toucher)
+
+    _assert_script_equivalent(script)
+
+
+def test_partially_present_run():
+    """Ranges where only some pages are populated: migration filters
+    to the present subset, the touch mixes demand-zero and present
+    runs, and the next-touch pass marks only what exists."""
+
+    def script(ex):
+        proc = ex.procs["p0"]
+        npages = 1000
+
+        def body(t):
+            addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW)
+            yield from t.touch(addr, 400 * PAGE_SIZE)
+            yield from t.touch(addr + 600 * PAGE_SIZE, 50 * PAGE_SIZE)
+            yield from t.move_range(addr, npages * PAGE_SIZE, 1)
+            yield from t.touch(addr, npages * PAGE_SIZE, write=True, batch=1)
+            yield from t.madvise(addr, npages * PAGE_SIZE, Madvise.NEXTTOUCH)
+            return addr
+
+        addr = _spawn(ex, proc, 0, body)
+        toucher_core = ex.system.machine.cores_of_node(1)[0]
+
+        def toucher(t):
+            yield from t.touch(addr, npages * PAGE_SIZE, batch=1)
+
+        _spawn(ex, proc, toucher_core, toucher)
+
+    _assert_script_equivalent(script)
+
+
+def test_zero_length_runs():
+    """Zero-byte syscalls behave identically on both paths (touch
+    rejects them, the others no-op), and the run-ops refuse a
+    zero-length run outright."""
+    from repro.kernel.runops import cow_break_run, swap_in_run
+
+    def script(ex):
+        proc = ex.procs["p0"]
+        captured = {}
+
+        def body(t):
+            addr = yield from t.mmap(64 * PAGE_SIZE, PROT_RW)
+            yield from t.touch(addr, 64 * PAGE_SIZE)
+            outcomes = []
+            for call in ("touch", "move", "swap"):
+                try:
+                    if call == "touch":
+                        yield from t.touch(addr, 0)
+                    elif call == "move":
+                        yield from t.move_range(addr, 0, 1)
+                    else:
+                        yield from t.swap_out(addr, 0)
+                    outcomes.append((call, "ok"))
+                except SyscallError as exc:
+                    outcomes.append((call, exc.errno.name))
+            assert outcomes == [
+                ("touch", "EINVAL"),
+                ("move", "ok"),
+                ("swap", "EINVAL"),
+            ], outcomes
+            captured["thread"], captured["addr"] = t, addr
+
+        _spawn(ex, proc, 0, body)
+        if not ex.kernel.force_slow_path:
+            vma = next(
+                v for v in proc.addr_space.vmas if v.start == captured["addr"]
+            )
+            thread = captured["thread"]
+            assert cow_break_run(ex.kernel, thread, vma, 0, 0, 0.0, "t") is None
+            assert swap_in_run(ex.kernel, thread, vma, 0, 0, 0.0, "t") is None
+
+    _assert_script_equivalent(script)
+
+
+def test_runop_bails_with_lock_waiters():
+    """A held split PTL or LRU lock makes every run-op decline (the
+    slow path, which can queue on the lock, takes over)."""
+    import numpy as np
+
+    from repro.kernel.runops import _pmd_locks, cow_break_run, migrate_run
+
+    ex = _Executor(slow=False)
+    proc = ex.procs["p0"]
+    captured = {}
+
+    def body(t):
+        addr = yield from t.mmap(64 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 64 * PAGE_SIZE)
+        captured["thread"], captured["addr"] = t, addr
+
+    _spawn(ex, proc, 0, body)
+    vma = next(v for v in proc.addr_space.vmas if v.start == captured["addr"])
+    thread = captured["thread"]
+
+    assert _pmd_locks(proc, vma, 0, 8) is not None
+    ptl = proc.ptl(vma.start, 0)
+    ptl._available = 0  # simulate a holder without engine turns
+    assert _pmd_locks(proc, vma, 0, 8) is None
+    assert cow_break_run(ex.kernel, thread, vma, 0, 8, 0.0, "t") is None
+    ptl._available = 1
+
+    idxs = np.arange(8, dtype=np.int64)
+    lru = ex.kernel.lru_locks[1]
+    lru._available = 0
+    assert (
+        migrate_run(ex.kernel, thread, vma, idxs, 1, control_us=0.1, tag="mp")
+        is None
+    )
+    lru._available = 1
+
+
+@pytest.mark.parametrize("scenario", ["migrate", "cow", "swap"])
+def test_runops_coalesce_events(scenario):
+    """Each run-op collapses its per-page event storm into a handful
+    of engine events (the wall-clock point of the layer)."""
+
+    def events(slow: bool) -> int:
+        ex = _Executor(slow=slow)
+        proc = ex.procs["p0"]
+        npages = 512
+        shared = {}
+
+        def setup(t):
+            addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW)
+            yield from t.touch(addr, npages * PAGE_SIZE)
+            shared["addr"] = addr
+            if scenario == "migrate":
+                yield from t.move_range(addr, npages * PAGE_SIZE, 1)
+            elif scenario == "cow":
+                yield from t.fork()
+            else:
+                yield from t.swap_out(addr, npages * PAGE_SIZE)
+
+        _spawn(ex, proc, 0, setup)
+        if scenario != "migrate":
+
+            def toucher(t):
+                yield from t.touch(
+                    shared["addr"], npages * PAGE_SIZE, write=True, batch=1
+                )
+
+            _spawn(ex, proc, ex.system.machine.cores_of_node(1)[0], toucher)
+        return ex.kernel.env.events_processed
+
+    fast, slow = events(False), events(True)
+    assert fast < slow // 4, f"{scenario}: fast={fast} slow={slow}"
+
+
 def test_force_slow_path_disables_turbo():
     """The escape hatch really does force the per-page walk: the slow
     side processes strictly more engine events for the same work."""

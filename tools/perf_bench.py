@@ -15,6 +15,8 @@ off one-off scheduler hiccups) with fully pinned inputs:
 * ``fig5.sweep_s@16384``  — the Figure 5 next-touch sweep;
 * ``fig7.sweep_s@8192``   — the Figure 7 sync/lazy scaling sweep at
   1 and 4 threads;
+* ``whatif.sweep_s@64x2`` — the kernel next-touch sweep on a 64-node
+  fabric (the large-machine what-if shape);
 * ``fuzz.corpus_s@20x25`` — 20 seeded differential-fuzzer workloads of
   25 ops each (seeds 1..20), the mixed-syscall shape.
 
@@ -25,6 +27,12 @@ process exits non-zero. Host timings are noisy across machines — the
 wide default tolerance absorbs same-machine noise only; re-baseline
 with ``--update-baseline`` when moving hardware or after a reviewed
 performance change.
+
+``--workers N`` (or ``auto``) runs the fig4/fig5/fig7 sweeps through
+the sharded runner (:mod:`repro.experiments.parallel`); the worker
+count actually used per scenario is recorded in the report's
+``workers`` block. ``--quick`` times a single iteration per scenario
+instead of the median of ``--repeats``.
 
 Results land in ``<out>/BENCH_wall.json`` with the same report shape
 as the simulation gate (schema ``repro.bench.wall/v1``).
@@ -52,29 +60,60 @@ RESULTS_FILENAME = "BENCH_wall.json"
 FIG4_PAGES = 262144
 FIG5_PAGES = 16384
 FIG7_PAGES = 8192
+WHATIF_NODES = 64
+WHATIF_PAGES = [16, 256, 4096]
 FUZZ_SEEDS = range(1, 21)
 FUZZ_OPS = 25
 
 
-def _fig4() -> None:
+def _fig4(workers: int) -> None:
+    if workers > 1:
+        from repro.experiments.parallel import run_sweep
+
+        run_sweep("fig4", workers=workers, counts=[FIG4_PAGES])
+        return
     from repro.experiments import fig4_throughput
 
     fig4_throughput.run([FIG4_PAGES])
 
 
-def _fig5() -> None:
+def _fig5(workers: int) -> None:
+    if workers > 1:
+        from repro.experiments.parallel import run_sweep
+
+        run_sweep("fig5", workers=workers, counts=[FIG5_PAGES])
+        return
     from repro.experiments import fig5_nexttouch
 
     fig5_nexttouch.run([FIG5_PAGES])
 
 
-def _fig7() -> None:
+def _fig7(workers: int) -> None:
+    if workers > 1:
+        from repro.experiments.parallel import run_sweep
+
+        run_sweep("fig7", workers=workers, counts=[FIG7_PAGES], thread_counts=(1, 4))
+        return
     from repro.experiments import fig7_scalability
 
     fig7_scalability.run([FIG7_PAGES], thread_counts=(1, 4))
 
 
-def _fuzz() -> None:
+def _whatif64(workers: int) -> None:
+    from repro.experiments.whatif_machines import run_machines
+    from repro.hardware.topology import Machine
+
+    run_machines(
+        WHATIF_PAGES,
+        machines={
+            f"{WHATIF_NODES} nodes x 2 cores": lambda cost: Machine.symmetric(
+                WHATIF_NODES, 2, cost=cost
+            )
+        },
+    )
+
+
+def _fuzz(workers: int) -> None:
     from repro.check.fuzzer import generate_ops, run_ops
 
     for seed in FUZZ_SEEDS:
@@ -83,25 +122,35 @@ def _fuzz() -> None:
             raise SystemExit(f"fuzz corpus seed {seed} failed: {failure.to_json()}")
 
 
-SCENARIOS: dict[str, Callable[[], None]] = {
+SCENARIOS: dict[str, Callable[[int], None]] = {
     f"fig4.sweep_s@{FIG4_PAGES}": _fig4,
     f"fig5.sweep_s@{FIG5_PAGES}": _fig5,
     f"fig7.sweep_s@{FIG7_PAGES}": _fig7,
+    f"whatif.sweep_s@{WHATIF_NODES}x2": _whatif64,
     f"fuzz.corpus_s@{len(FUZZ_SEEDS)}x{FUZZ_OPS}": _fuzz,
 }
 
+#: Scenarios the sharded runner can fan out; the rest always run with
+#: one worker, whatever --workers says.
+SHARDED = frozenset(
+    name for name in SCENARIOS if name.startswith(("fig4.", "fig5.", "fig7."))
+)
 
-def measure(repeats: int) -> dict[str, float]:
-    """Median-of-``repeats`` wall seconds for every scenario."""
+
+def measure(repeats: int, workers: int = 1) -> tuple[dict[str, float], dict[str, int]]:
+    """Median-of-``repeats`` wall seconds and worker count per scenario."""
     metrics: dict[str, float] = {}
+    used: dict[str, int] = {}
     for name, fn in SCENARIOS.items():
+        scenario_workers = workers if name in SHARDED else 1
         samples = []
         for _ in range(repeats):
             t0 = time.perf_counter()
-            fn()
+            fn(scenario_workers)
             samples.append(time.perf_counter() - t0)
         metrics[name] = round(statistics.median(samples), 4)
-    return metrics
+        used[name] = scenario_workers
+    return metrics, used
 
 
 def compare(metrics: dict, baseline: dict, tolerance: float) -> dict:
@@ -138,16 +187,32 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
     parser.add_argument("--repeats", type=int, default=3, help="samples per scenario")
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="time a single iteration per scenario (overrides --repeats)",
+    )
+    parser.add_argument(
+        "--workers",
+        metavar="N",
+        default=None,
+        help="fan the fig4/fig5/fig7 sweeps across N worker processes "
+        "('auto' = host CPU count); recorded per scenario in the report",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="rewrite the committed baseline from this run",
     )
     args = parser.parse_args(argv)
 
+    from repro.experiments.parallel import resolve_workers
     from repro.obs.manifest import git_revision
 
+    repeats = 1 if args.quick else args.repeats
+    workers = resolve_workers(args.workers)
+
     t0 = time.perf_counter()
-    metrics = measure(args.repeats)
+    metrics, used_workers = measure(repeats, workers)
     wall = time.perf_counter() - t0
 
     baseline = None
@@ -166,7 +231,8 @@ def main(argv=None) -> int:
         "schema": SCHEMA,
         "git_revision": git_revision(),
         "tolerance": args.tolerance,
-        "repeats": args.repeats,
+        "repeats": repeats,
+        "workers": used_workers,
         "baseline_path": args.baseline if baseline else None,
         "wall_time_s": round(wall, 2),
         "metrics": metrics,
