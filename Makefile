@@ -7,7 +7,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test verify bench bench-update bench-suite bench-full perf perf-parallel perf-update fuzz fuzz-quick docs-check trace-smoke serve-smoke experiments examples loc clean
+.PHONY: test verify bench bench-update bench-suite bench-full perf perf-parallel perf-update fuzz fuzz-quick docs-check trace-smoke serve-smoke telemetry-smoke experiments examples loc clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -15,7 +15,7 @@ test:
 # The default local verification path: the tier-1 suite, the docs
 # linter, the end-to-end tracing and serving smoke tests and the host
 # wall-clock gates (serial, then sharded across all host CPUs).
-verify: test docs-check trace-smoke serve-smoke perf perf-parallel
+verify: test docs-check trace-smoke serve-smoke telemetry-smoke perf perf-parallel
 
 # Differential fuzzing: random-but-seeded syscall workloads run against
 # both the kernel and the reference oracle (src/repro/check/), with the
@@ -45,11 +45,12 @@ bench-update:
 	$(PYTHON) -m repro.experiments.cli bench --suite serve --out results --update-baseline
 
 # The host wall-clock gate: times the fig4/fig5/fig7 sweeps and a
-# fuzzer corpus on the host, writes results/BENCH_wall.json, and exits
-# non-zero if any scenario runs more than 25% slower than
+# fuzzer corpus on the host, writes results/BENCH_wall.json, appends
+# one line to the run history (results/BENCH_wall_history.jsonl), and
+# exits non-zero if any scenario runs more than 25% slower than
 # benchmarks/BENCH_WALL_baseline.json. See docs/performance.md.
 perf:
-	$(PYTHON) tools/perf_bench.py --out results
+	$(PYTHON) tools/perf_bench.py --out results --append-history
 
 # The sharded wall-clock gate: same scenarios, but the fig4/fig5/fig7
 # sweeps fan out across every host CPU through the sharded sweep
@@ -77,6 +78,12 @@ docs-check:
 # event stream matches the registry schemas. See docs/observability.md §9.
 trace-smoke:
 	$(PYTHON) tools/trace_smoke.py
+
+# End-to-end telemetry smoke test: the always-on counters bit-identical
+# fast-vs-slow on a canned workload, the serve series sampled, and the
+# --timeseries CLI artifacts parsing. See docs/observability.md §10.
+telemetry-smoke:
+	$(PYTHON) tools/telemetry_smoke.py
 
 # End-to-end serving smoke test: a tiny 2-tenant KV policy race with
 # --json; asserts the manifest carries non-empty per-policy and

@@ -50,6 +50,7 @@ from ..kernel.syscalls import Madvise
 from ..kernel.vma import PROT_READ, PROT_RW
 from ..obs import tracepoints
 from ..obs.metrics import Histogram, _quantile
+from ..obs.timeseries import TimeSeriesSampler
 from ..sched.scheduler import Placement
 from ..sim.rng import make_rng
 from ..util.units import PAGE_SIZE
@@ -615,6 +616,10 @@ class ServeStats:
     policy_pages: int
     slo: dict = field(default_factory=dict)
     tenants: dict = field(default_factory=dict)
+    #: simulated-time telemetry series (``repro.timeseries/v1``):
+    #: counters, per-node occupancy, rolling p99 and migration rate,
+    #: sampled at policy-driver wakes.
+    series: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -633,6 +638,7 @@ class ServeStats:
             "policy_pages": self.policy_pages,
             "slo": self.slo,
             "tenants": self.tenants,
+            "series": self.series,
         }
 
 
@@ -665,6 +671,28 @@ class KVServer:
             self.heat = HeatTracker(system.kernel.machine.num_nodes)
             system.kernel.access_profiler = self.heat
         self._acc: dict[int, np.ndarray] = {}
+        # Always-on telemetry series, sampled from the policy drivers'
+        # existing wakes (pull-based: a dedicated sampling timer would
+        # keep ``env.idle`` false and disengage the turbo paths).
+        self._rate_ref: tuple[float, int] = (0.0, 0)
+        self.sampler = TimeSeriesSampler(
+            system.kernel,
+            extra_sources={
+                "serve.p99_us": lambda: self.hist.quantile(0.99),
+                "serve.migration_rate_per_s": self._migration_rate,
+            },
+        )
+
+    def _migration_rate(self) -> Optional[float]:
+        """Pages migrated per simulated second since the last sample."""
+        kernel = self.system.kernel
+        now = float(kernel.env.now)
+        pages = kernel.stats.pages_migrated
+        t0, p0 = self._rate_ref
+        self._rate_ref = (now, pages)
+        if now <= t0:
+            return None
+        return (pages - p0) * 1e6 / (now - t0)
 
     # --------------------------------------------------------------- heat ----
     def heat_view(self) -> dict[int, np.ndarray]:
@@ -802,6 +830,10 @@ class KVServer:
         env = t.kernel.env
         while True:
             yield env.timeout(self.policy.period_us)
+            # Telemetry rides the wake the driver already pays for;
+            # when several tenants' drivers share an instant,
+            # ``maybe_sample`` keeps one point per period.
+            self.sampler.maybe_sample(self.policy.period_us)
             if tenant.departed:
                 return
             act = (not self.gated) or tenant.gate.at_risk
@@ -810,6 +842,7 @@ class KVServer:
     # --------------------------------------------------------------- stats ---
     def _stats(self) -> ServeStats:
         kernel = self.system.kernel
+        self.sampler.sample()  # closing point at end-of-run state
         total = sum(t.requests_done for t in self.tenants)
         start = min(t.start_us for t in self.tenants if t.start_us is not None)
         end = max(t.end_us for t in self.tenants if t.end_us is not None)
@@ -850,6 +883,7 @@ class KVServer:
                 "recoveries": sum(t.gate.recoveries for t in self.tenants),
             },
             tenants=tenants,
+            series=self.sampler.to_dict(),
         )
 
 

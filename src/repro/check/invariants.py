@@ -288,7 +288,7 @@ def ledger_consistency(kernel: Kernel) -> list[str]:
             problems.append(f"ledger tag {tag!r} total went negative: {total}")
         if ledger.counts.get(tag, 0) < 1:
             problems.append(f"ledger tag {tag!r} has a total but no events")
-    for field, value in vars(kernel.stats).items():
+    for field, value in kernel.stats.flat():
         if value < 0:
             problems.append(f"kernel stat {field} went negative: {value}")
     return problems

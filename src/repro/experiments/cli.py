@@ -15,6 +15,8 @@ Structured artifacts (schemas in ``docs/observability.md``)::
     repro-experiments fig4 --trace out/    # out/fig4.trace.json (Perfetto)
     repro-experiments fig4 --tracepoints out/  # kernel tracepoint stream,
                                                # phase slices, numa_maps, vmstat
+    repro-experiments fig4 --timeseries out/   # telemetry counter series +
+                                               # Chrome counter tracks
     repro-experiments introspect           # canned workload + /proc-style views
     repro-experiments bench                # regression gate -> BENCH_results.json
     repro-experiments bench --suite serve  # serving gate -> BENCH_serve.json
@@ -244,6 +246,41 @@ def _write_observation(
             os.path.join(args.trace, f"{name}.trace.json"), events
         )
         print(f"[trace: {trace_path}]", file=sys.stderr)
+    if args.timeseries is not None:
+        _write_timeseries(obs, name, args.timeseries)
+
+
+def _write_timeseries(obs, name: str, outdir: str) -> None:
+    """Emit the ``--timeseries`` artifact pair for one experiment.
+
+    The always-on counters are cumulative, so one closing sample per
+    observed system captures the run's full totals; experiments that
+    sample continuously (the serve race's per-policy rolling series)
+    additionally embed their own series in the manifest.
+    """
+    from ..obs import write_chrome_trace
+    from ..obs.timeseries import (
+        TimeSeriesSampler,
+        chrome_counter_events,
+        merge_series,
+    )
+
+    os.makedirs(outdir, exist_ok=True)
+    per_system = []
+    for system in obs.systems:
+        sampler = TimeSeriesSampler(system.kernel)
+        sampler.sample()
+        per_system.append(sampler.to_dict())
+    merged = merge_series(per_system)
+    json_path = os.path.join(outdir, f"{name}.timeseries.json")
+    with open(json_path, "w") as fh:
+        json.dump(merged, fh, indent=2)
+    trace_path = write_chrome_trace(
+        os.path.join(outdir, f"{name}.timeseries.trace.json"),
+        chrome_counter_events(merged, process_name=f"{name} telemetry"),
+    )
+    for path in (json_path, trace_path):
+        print(f"[timeseries: {path}]", file=sys.stderr)
 
 
 def _write_tracepoints(obs, recorder, profile, name: str, outdir: str) -> None:
@@ -320,6 +357,7 @@ def _run_introspect(args) -> int:
     from ..check.harness import MACHINE_SPEC, DiffHarness
     from ..obs import PhaseProfile, record_tracepoints
     from ..obs import procfs
+    from ..obs.telemetry import stats_snapshot
 
     with record_tracepoints() as recorder:
         harness = DiffHarness()
@@ -360,6 +398,10 @@ def _run_introspect(args) -> int:
         print(f"=== /proc/{process.pid}/numa_maps ({pname}) ===")
         print(procfs.numa_maps(process, num_nodes))
         print()
+    print("=== kernel stats ===")
+    for counter, value in stats_snapshot(kernel).items():
+        print(f"{counter:<28} {value:>8}")
+    print()
     print("=== /proc/vmstat ===")
     print(procfs.vmstat(kernel))
     print()
@@ -543,6 +585,15 @@ def build_parser() -> argparse.ArgumentParser:
         ".numa_maps.txt and .vmstat.txt (see docs/observability.md §9)",
     )
     parser.add_argument(
+        "--timeseries",
+        metavar="DIR",
+        default=None,
+        help="sample the always-on telemetry counters and save "
+        "<DIR>/<experiment>.timeseries.json plus "
+        "<DIR>/<experiment>.timeseries.trace.json (Chrome counter "
+        "tracks; see docs/observability.md §10)",
+    )
+    parser.add_argument(
         "--profile",
         metavar="DIR",
         default=None,
@@ -565,7 +616,8 @@ def build_parser() -> argparse.ArgumentParser:
         "processes ('auto' = host CPU count); merged results, manifests "
         "and metrics are byte-identical for every N (see "
         "docs/performance.md); incompatible with --trace, --tracepoints, "
-        "--check and --profile",
+        "--timeseries, --check and --profile (the sweep manifest still "
+        "carries a merged telemetry series)",
     )
     serve = parser.add_argument_group("serve (KV policy race)")
     serve.add_argument(
@@ -670,6 +722,7 @@ def _run_parallel(args) -> int:
         for flag, value in (
             ("--trace", args.trace),
             ("--tracepoints", args.tracepoints),
+            ("--timeseries", args.timeseries),
             ("--profile", args.profile),
             ("--check", args.check),
         )
@@ -744,6 +797,7 @@ def main(argv: list[str] | None = None) -> int:
         args.json is not None
         or args.trace is not None
         or args.tracepoints is not None
+        or args.timeseries is not None
         or args.check
     )
     broken = 0

@@ -35,6 +35,7 @@ from ..apps.kvserver import (
     default_tenants,
     make_policy,
 )
+from ..obs.timeseries import SCHEMA as TIMESERIES_SCHEMA
 from .common import ExperimentResult, fresh_system
 
 __all__ = ["ServeResult", "race", "run"]
@@ -53,10 +54,16 @@ class ServeResult(ExperimentResult):
         self.slo_us: float = DEFAULT_SLO_US
 
     def manifest_extra(self) -> dict:
-        """Extra manifest block (``run_manifest(..., extra=...)``)."""
+        """Extra manifest block (``run_manifest(..., extra=...)``).
+
+        Each policy's entry carries its telemetry ``series`` (rolling
+        p99, migration rate, per-node occupancy over simulated time)
+        alongside the headline numbers.
+        """
         return {
             "serve": {
                 "slo_us": self.slo_us,
+                "timeseries_schema": TIMESERIES_SCHEMA,
                 "policies": self.stats,
             }
         }

@@ -160,6 +160,7 @@ def _run_point(spec: dict) -> dict:
     if not spec["collect"]:
         return {"index": spec["index"], "values": fn(spec["payload"])}
     from ..obs import observe, run_manifest
+    from ..obs.timeseries import TimeSeriesSampler, merge_series
 
     with observe() as obs:
         values = fn(spec["payload"])
@@ -174,11 +175,23 @@ def _run_point(spec: dict) -> dict:
         if obs.systems
         else None
     )
+    # One end-of-point telemetry sample per observed system, merged in
+    # system-creation order — everything sampled is simulated state, so
+    # the series is independent of which worker ran the point.
+    series = None
+    if obs.systems:
+        per_system = []
+        for system in obs.systems:
+            sampler = TimeSeriesSampler(system.kernel)
+            sampler.sample()
+            per_system.append(sampler.to_dict())
+        series = merge_series(per_system)
     return {
         "index": spec["index"],
         "values": values,
         "metrics": metrics,
         "manifest": manifest,
+        "series": series,
     }
 
 
@@ -371,6 +384,7 @@ def _sweep_manifest(experiment: str, points: list[dict]) -> dict:
     from .. import __version__
     from ..obs.manifest import git_revision
     from ..obs.metrics import merge_snapshots
+    from ..obs.timeseries import merge_series
 
     fragments = [p.get("manifest") for p in points]
     sim_totals = [
@@ -388,6 +402,9 @@ def _sweep_manifest(experiment: str, points: list[dict]) -> dict:
             "max": max(sim_maxes) if sim_maxes else 0.0,
         },
         "metrics": merge_snapshots(p.get("metrics") or {} for p in points),
+        # Per-point telemetry series concatenated in point order — the
+        # same worker-count-invariance property merge_snapshots has.
+        "timeseries": merge_series(p.get("series") for p in points),
         "points": fragments,
     }
 

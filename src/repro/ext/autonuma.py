@@ -106,6 +106,7 @@ class AutoNumaScanner:
             position += vma.npages
         if marked_total:
             self.pages_marked += marked_total
+            kernel.stats.nexttouch_marks += marked_total
             yield kernel.charge(
                 "autonuma.scan",
                 kernel.cost.madvise_base_us + kernel.cost.madvise_page_us * marked_total,

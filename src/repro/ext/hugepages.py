@@ -111,7 +111,9 @@ def huge_mark_next_touch(thread: SimThread, addr: int, nbytes: int):
     for unit in _huge_units(vma, addr, nbytes):
         lo = int(unit) * PAGES_PER_HUGE
         hi = min(lo + PAGES_PER_HUGE, vma.npages)
-        marked += int(vma.pt.mark_next_touch(slice(lo, hi)) > 0)
+        pages = int(vma.pt.mark_next_touch(slice(lo, hi)))
+        kernel.stats.nexttouch_marks += pages
+        marked += int(pages > 0)
     if marked:
         yield kernel.charge("madvise", kernel.cost.madvise_base_us + 0.2 * marked)
         yield kernel.tlb_shootdown(thread.process, thread.core, tag="madvise")
@@ -151,6 +153,7 @@ def huge_touch(thread: SimThread, addr: int, nbytes: int):
         yield kernel.copy_pages_event(src, dest, float((hi - lo) * PAGE_SIZE), thread.process)
         kernel.release_frames(old)
         kernel.stats.pages_migrated += hi - lo
+        kernel.stats.record_migration("nexttouch", hi - lo)
         kernel.stats.nt_faults += 1
         migrated += 1
     return migrated
@@ -186,5 +189,6 @@ def huge_migrate(thread: SimThread, addr: int, nbytes: int, dest: int):
         yield kernel.copy_pages_event(src, dest, float((hi - lo) * PAGE_SIZE), thread.process)
         kernel.release_frames(old)
         kernel.stats.pages_migrated += hi - lo
+        kernel.stats.record_migration("move_pages", hi - lo)
         moved += 1
     return moved

@@ -21,6 +21,12 @@ class Ledger:
     def __init__(self) -> None:
         self.totals: dict[str, float] = defaultdict(float)
         self.counts: dict[str, int] = defaultdict(int)
+        #: True while a :class:`~repro.sim.trace.Tracer` wraps
+        #: :meth:`add`. ``Kernel.turbo_ok`` reads this flag — rather
+        #: than sniffing the instance ``__dict__`` — to keep the
+        #: wall-clock fast paths off while every charge must be
+        #: individually observable.
+        self.traced = False
 
     def add(self, tag: str, duration_us: float) -> None:
         """Record ``duration_us`` of work under ``tag``."""

@@ -22,6 +22,7 @@ from ..errors import OutOfMemory, SimulationError
 from ..hardware.interconnect import LinkFabric
 from ..hardware.topology import Machine
 from ..obs import tracepoints
+from ..obs.telemetry import KernelStats
 from ..sim.engine import Environment, Event
 from ..sim.resources import BandwidthResource, Mutex, RwLock
 from ..util.units import PAGE_SIZE
@@ -34,23 +35,6 @@ __all__ = ["Kernel", "SimProcess", "KernelStats", "SIGSEGV"]
 
 #: Signal number for segmentation faults (the only one we model).
 SIGSEGV: int = 11
-
-
-class KernelStats:
-    """Machine-wide event counters."""
-
-    def __init__(self) -> None:
-        self.minor_faults = 0  #: first-touch / demand-zero faults
-        self.nt_faults = 0  #: migrate-on-next-touch faults
-        self.prot_faults = 0  #: protection faults (SIGSEGV delivered)
-        self.pages_migrated = 0  #: pages physically moved between nodes
-        self.pages_first_touched = 0  #: pages allocated on first touch
-        self.tlb_local_flushes = 0
-        self.tlb_shootdowns = 0
-        self.tlb_ipis = 0  #: per-CPU interrupts sent by shootdowns
-        self.signals_delivered = 0
-        self.cow_faults = 0  #: copy-on-write break faults
-        self.forks = 0  #: processes forked
 
 
 class NumaStats:
@@ -205,7 +189,7 @@ class Kernel:
             and not self.debug_checks
             and self.env.idle
             and not tracepoints.tracepoints_enabled()
-            and "add" not in self.ledger.__dict__  # Tracer attached
+            and not self.ledger.traced  # Tracer attached
         )
 
     def charge_run(self, charges) -> Event:

@@ -183,6 +183,7 @@ def _demand_zero(kernel: Kernel, thread: "SimThread", vma: Vma, idx: int, write:
         vma.pt.map_pages(slice(idx, idx + 1), frames, np.asarray([node]), vma.allows(True))
         kernel.stats.minor_faults += 1
         kernel.stats.pages_first_touched += 1
+        kernel.stats.record_run("demand_zero", 1)
         if tracepoints.active(kernel):
             tracepoints.emit(
                 "fault:demand_zero", kernel, pid=process.pid, vma=vma.start, node=int(node), pages=1
@@ -294,6 +295,9 @@ def demand_zero_run(
         vma.pt.map_pages(slice(idx, idx + run), frames, targets, writable)
     kernel.stats.minor_faults += run
     kernel.stats.pages_first_touched += run
+    # One op per replaced per-page fault, so the counters match the
+    # slow storm this run commit stands in for.
+    kernel.stats.record_run("demand_zero", run, ops=run)
     sem.stats.acquisitions += run
     # --- per-page float replay: the clock, per-tag ledger totals and
     # lock hold times are sequential sums whose rounding depends on the
@@ -434,6 +438,7 @@ def demand_zero_batch(kernel: Kernel, thread: "SimThread", vma: Vma, idxs: np.nd
             )
     kernel.stats.minor_faults += k
     kernel.stats.pages_first_touched += k
+    kernel.stats.record_run("demand_zero", k)
     try:
         if kernel.turbo_ok():
             # Coalesced: the three per-batch charges in one engine event
@@ -489,6 +494,7 @@ def nt_fault_batch(
         return
     k = int(idxs.size)
     kernel.stats.nt_faults += k
+    kernel.stats.record_run("nt_fault", k)
     src_nodes = vma.pt.node[idxs].copy()
     moving = src_nodes != dest
     stay_idxs = idxs[~moving]
@@ -521,6 +527,7 @@ def nt_fault_batch(
         vma.pt.node[move_idxs] = dest
         vma.pt.clear_next_touch(move_idxs, vma.allows(True))
         kernel.stats.pages_migrated += int(move_idxs.size)
+        kernel.stats.record_migration("nexttouch", int(move_idxs.size))
         if tracepoints.active(kernel):
             tracepoints.emit(
                 "fault:nt_migrate",

@@ -119,9 +119,11 @@ def cow_fault(kernel: Kernel, thread: "SimThread", vma: Vma, idx: int):
         if not (flags & PTE_COW):
             return  # raced: someone already broke it
         kernel.stats.cow_faults += 1
+        kernel.stats.record_run("cow_break", 1)
         frame = int(vma.pt.frame[idx])
         if not kernel.frame_shared(frame):
             # Sole owner now: just re-arm the write bit.
+            kernel.stats.cow_reused += 1
             vma.pt.flags[idx] = np.uint16(
                 (flags & ~PTE_COW) | PTE_PRESENT | PTE_WRITE
             )
@@ -139,6 +141,7 @@ def cow_fault(kernel: Kernel, thread: "SimThread", vma: Vma, idx: int):
             return
         src_node = int(vma.pt.node[idx])
         dest = kernel.machine.node_of_core(thread.core)
+        kernel.stats.cow_copied += 1
         new_frame = int(kernel.alloc_on(dest, 1)[0])
         if kernel.track_contents:
             data = kernel.page_data.get(frame)

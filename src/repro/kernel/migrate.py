@@ -194,6 +194,8 @@ def migrate_vma_pages(
             )
         moved += k
         kernel.stats.pages_migrated += k
+        kernel.stats.record_run("migrate", k)
+        kernel.stats.record_migration(tag, k)
     if kernel.debug_checks:
         vma.pt.check_invariants()
     return moved

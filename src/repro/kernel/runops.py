@@ -273,6 +273,9 @@ def migrate_run(
                 stats.hold_time += t - since
         moved += k
     kernel.stats.pages_migrated += moved
+    # One op per pagevec chunk, as the per-chunk path books them.
+    kernel.stats.record_run("migrate", moved, ops=(size + chunk_size - 1) // chunk_size)
+    kernel.stats.record_migration(tag, moved)
     # The frees the per-chunk putback would have done, in the same
     # per-allocator append order (index order within each source node).
     kernel.release_frames(all_old)
@@ -406,6 +409,9 @@ def cow_break_run(
     stats.hold_time = pmd_hold
     sem.stats.acquisitions += run
     kernel.stats.cow_faults += run
+    kernel.stats.cow_reused += run - n_shared
+    kernel.stats.cow_copied += n_shared
+    kernel.stats.record_run("cow_break", run, ops=run)
     led.totals["fault.entry"] = tot_entry
     led.counts["fault.entry"] += run
     if n_shared < run:
@@ -475,6 +481,8 @@ def swap_in_run(
     table[span] = -1
     device.free_slots(slots)
     device.pages_in += run
+    kernel.stats.pages_swapped_in += run
+    kernel.stats.record_run("swap_in", run, ops=run)
     sem.stats.acquisitions += run
     # --- per-page float replay ------------------------------------------
     cost = kernel.cost

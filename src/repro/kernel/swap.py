@@ -166,6 +166,10 @@ def sys_swap_out(kernel: Kernel, thread: "SimThread", addr: int, nbytes: int):
                     if data is not None:
                         device.slot_data[int(slot)] = data
             src_nodes = vma.pt.node[idxs].copy()
+            # Common to both branches below: one run-granular swap-out
+            # op per segment, covering every page written.
+            kernel.stats.pages_swapped_out += int(idxs.size)
+            kernel.stats.record_run("swap_out", int(idxs.size))
             # Write to disk, then tear down the mappings.
             if kernel.turbo_ok() and not device.channel._active:
                 # Run-granular swap-out: replay the device transfer and
@@ -243,6 +247,8 @@ def swap_in_batch(kernel: Kernel, thread: "SimThread", vma: Vma, idxs: np.ndarra
         table[idxs] = -1
         device.free_slots(slots)
         device.pages_in += k
+        kernel.stats.pages_swapped_in += k
+        kernel.stats.record_run("swap_in", k)
         if tracepoints.active(kernel):
             tracepoints.emit(
                 "swap:in", kernel, pid=process.pid, vma=vma.start, node=int(dest), pages=k

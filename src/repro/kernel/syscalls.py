@@ -148,6 +148,7 @@ def sys_madvise(kernel: Kernel, thread: "SimThread", addr: int, nbytes: int, adv
                     )
             for vma, first, stop in segments:
                 affected += vma.pt.mark_next_touch(slice(first, stop))
+            kernel.stats.nexttouch_marks += affected
             stages = [("madvise", cost.madvise_base_us + cost.madvise_page_us * affected)]
             if affected:
                 # The unmap of valid PTEs must be flushed everywhere

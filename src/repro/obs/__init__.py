@@ -20,6 +20,13 @@ Everything a run produces beyond its ASCII tables lives here:
 * :mod:`repro.obs.profile` — the phase profiler folding a recorded
   event stream into fault spans, per-phase histograms and node flow
   matrices;
+* :mod:`repro.obs.telemetry` — the always-on :class:`KernelStats`
+  counter block (vmstat-style monotonic counters incremented
+  run-granularly on both the slow and turbo kernel paths, never
+  tripping ``turbo_ok()``);
+* :mod:`repro.obs.timeseries` — a pull-based simulated-time sampler
+  over those counters, per-node occupancy and access heat, exported
+  as JSON and Chrome-trace counter tracks;
 * :mod:`repro.obs.procfs` — ``/proc``-style views (``numa_maps``,
   ``vmstat``, ``pagetypeinfo``, placement heatmap) of a live kernel
   (imported lazily: it pulls in kernel modules);
@@ -35,6 +42,8 @@ from .context import Observation, current_observation, observe
 from .manifest import run_manifest
 from .metrics import MetricsRegistry, merge_snapshots, system_metrics
 from .profile import PhaseProfile
+from .telemetry import KernelStats, stats_snapshot
+from .timeseries import TimeSeriesSampler, chrome_counter_events, merge_series
 from .tracepoints import (
     TRACEPOINTS,
     TracepointRecorder,
@@ -61,4 +70,9 @@ __all__ = [
     "tracepoints_enabled",
     "write_events_jsonl",
     "PhaseProfile",
+    "KernelStats",
+    "stats_snapshot",
+    "TimeSeriesSampler",
+    "chrome_counter_events",
+    "merge_series",
 ]

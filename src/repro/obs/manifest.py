@@ -80,11 +80,19 @@ def lock_table(systems, top: int = 8) -> list[dict]:
 
 
 def _sum_kernel_stats(systems) -> dict:
-    out: dict[str, int] = {}
+    out: dict = {}
     for system in systems:
         for field, value in vars(system.kernel.stats).items():
-            out[field] = out.get(field, 0) + value
-    return dict(sorted(out.items()))
+            if isinstance(value, dict):
+                slot = out.setdefault(field, {})
+                for key, count in value.items():
+                    slot[key] = slot.get(key, 0) + count
+            else:
+                out[field] = out.get(field, 0) + value
+    return {
+        field: dict(sorted(value.items())) if isinstance(value, dict) else value
+        for field, value in sorted(out.items())
+    }
 
 
 def _sum_numastat(systems) -> dict:

@@ -276,9 +276,14 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
 # --------------------------------------------------------------- publishers --
 
 def publish_kernel_stats(registry: MetricsRegistry, stats) -> None:
-    """All :class:`~repro.kernel.core.KernelStats` counters."""
-    for field, value in vars(stats).items():
-        registry.counter(f"kernel.{field}").inc(value)
+    """All :class:`~repro.obs.telemetry.KernelStats` counters.
+
+    Dict-valued counters flatten to dotted names via
+    :meth:`~repro.obs.telemetry.KernelStats.flat`
+    (``kernel.migrations.move_pages``, ``kernel.run_ops.swap_in``, ...).
+    """
+    for name, value in stats.flat():
+        registry.counter(f"kernel.{name}").inc(value)
 
 
 def publish_numastat(registry: MetricsRegistry, numastat) -> None:

@@ -126,7 +126,14 @@ def numa_maps(process, num_nodes: int) -> str:
 # ------------------------------------------------------------------- vmstat --
 
 def vmstat_data(kernel) -> dict[str, int]:
-    """Flat counter dict; ``numa_*`` rows sum :class:`NumaStats`."""
+    """Flat counter dict; ``numa_*`` rows sum :class:`NumaStats`.
+
+    Every ``pg*``/``nr_tlb*``/``pswp*`` row reads the always-on
+    :class:`~repro.obs.telemetry.KernelStats` counters (bit-identical
+    fast-vs-slow, pinned in ``tests/test_procfs.py``) rather than
+    recomputing from other subsystems; only the occupancy gauges
+    (``nr_free_pages``, ``nr_swap_used``) are derived state.
+    """
     stats = kernel.stats
     table = kernel.numastat.as_table()
     out = {
@@ -138,6 +145,12 @@ def vmstat_data(kernel) -> dict[str, int]:
         "pgfault_prot": stats.prot_faults,
         "pgalloc_first_touch": stats.pages_first_touched,
         "pgmigrate_success": stats.pages_migrated,
+        "pgmigrate_move_pages": stats.migrations["move_pages"],
+        "pgmigrate_migrate_pages": stats.migrations["migrate_pages"],
+        "pgmigrate_nexttouch": stats.migrations["nexttouch"],
+        "pgnexttouch_marked": stats.nexttouch_marks,
+        "pgcow_reuse": stats.cow_reused,
+        "pgcow_copy": stats.cow_copied,
         "numa_hit": sum(table["numa_hit"]),
         "numa_miss": sum(table["numa_miss"]),
         "numa_foreign": sum(table["numa_foreign"]),
@@ -150,8 +163,8 @@ def vmstat_data(kernel) -> dict[str, int]:
     }
     swap = getattr(kernel, "swap", None)
     if swap is not None:
-        out["pswpout"] = swap.pages_out
-        out["pswpin"] = swap.pages_in
+        out["pswpout"] = stats.pages_swapped_out
+        out["pswpin"] = stats.pages_swapped_in
         out["nr_swap_used"] = swap.used
     return out
 

@@ -63,12 +63,40 @@ class Tracer:
         """
         ledger = kernel.ledger
         original = ledger.add
+        previous = ledger.__dict__.get("add")  # inner wrapper, if stacked
 
         def adding(tag: str, duration_us: float) -> None:
             self.record(kernel.env.now, duration_us, tag)
             original(tag, duration_us)
 
+        adding._trace_prev = previous
         ledger.add = adding
+        # Turbo eligibility gates on this flag (not on __dict__
+        # sniffing): while traced, every charge stays a separate,
+        # individually timestamped event.
+        ledger.traced = True
+
+    def detach(self, kernel) -> None:
+        """Unhook the most recent :meth:`attach`, restoring turbo
+        eligibility once no wrapper remains.
+
+        Idempotent on an untraced kernel. Stacked tracers unwind in
+        LIFO order: each ``detach`` peels exactly one ``attach`` (the
+        wrapper remembers the one beneath it), and ``Ledger.traced``
+        turns false only when the last wrapper goes.
+        """
+        ledger = kernel.ledger
+        current = ledger.__dict__.get("add")
+        if current is None:
+            ledger.traced = False
+            return
+        previous = getattr(current, "_trace_prev", None)
+        if previous is None:
+            del ledger.__dict__["add"]
+            ledger.traced = False
+        else:
+            ledger.add = previous
+            ledger.traced = True
 
     # ------------------------------------------------------------ queries ----
     @property

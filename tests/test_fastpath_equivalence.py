@@ -6,7 +6,9 @@ merged charge events and the demand-zero turbo commit must leave the
 simulation in EXACTLY the state the per-page slow path produces —
 same simulated clock (bit-for-bit float equality), same ledger totals
 and counts, same page tables, same NUMA counters, same allocator and
-lock statistics.
+lock statistics — and same always-on telemetry: the ``KernelStats``
+counters (scalar and dict-valued) and a closing
+``TimeSeriesSampler`` sample are part of the diffed state.
 
 This suite replays seeded fuzzer workloads — the same generator
 ``make fuzz`` uses, so mprotect / madvise / fork / swap / migration
@@ -154,8 +156,15 @@ class _Executor:
         return ("ok", value)
 
     def canonical(self) -> dict:
+        from repro.obs.timeseries import TimeSeriesSampler
+
         k = self.kernel
+        # One closing telemetry sample: t_us, every counter, per-node
+        # occupancy. Goes through the exact-diff like everything else.
+        sampler = TimeSeriesSampler(k)
+        sampler.sample()
         state = {
+            "timeseries": sampler.to_dict(),
             "now": k.env.now,
             "ledger_totals": dict(k.ledger.totals),
             "ledger_counts": dict(k.ledger.counts),

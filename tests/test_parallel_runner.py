@@ -72,6 +72,23 @@ def test_fig4_workers_identical():
     assert one.manifest["num_points"] == len(FIG_COUNTS)
 
 
+def test_sweep_timeseries_worker_count_invariant():
+    """The manifest's merged telemetry series concatenates per-point
+    samples in point order — the same order however points were
+    sharded — so it is byte-identical for every worker count."""
+    from repro.obs.timeseries import SCHEMA
+
+    one = run_sweep("fig4", workers=1, counts=FIG_COUNTS, collect=True)
+    three = run_sweep("fig4", workers=3, counts=FIG_COUNTS, collect=True)
+    series = one.manifest["timeseries"]
+    assert series["schema"] == SCHEMA
+    assert len(series["points"]) >= len(FIG_COUNTS)
+    assert all("t_us" in p and "pages_migrated" in p for p in series["points"])
+    assert json.dumps(series, sort_keys=True) == json.dumps(
+        three.manifest["timeseries"], sort_keys=True
+    )
+
+
 @pytest.mark.parametrize("seed", [None, 123])
 def test_serve_workers_identical(seed):
     one = run_sweep("serve", workers=1, serve_opts=SERVE_OPTS, seed=seed)

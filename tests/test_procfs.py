@@ -94,15 +94,57 @@ def test_vmstat_is_consistent_with_numastat_and_stats():
     assert data["numa_foreign"] == sum(table["numa_foreign"])
     assert data["numa_interleave"] == sum(table["interleave_hit"])
     assert data["pgmigrate_success"] == kernel.stats.pages_migrated == 4
+    # the per-reason split is exhaustive: the three reasons sum to the
+    # total, and this run's migrations were all move_pages
+    assert (
+        data["pgmigrate_move_pages"]
+        + data["pgmigrate_migrate_pages"]
+        + data["pgmigrate_nexttouch"]
+        == data["pgmigrate_success"]
+    )
+    assert data["pgmigrate_move_pages"] == 4
     assert data["pgfault_minor"] == kernel.stats.minor_faults == 8
+    assert data["pgcow_reuse"] + data["pgcow_copy"] == kernel.stats.cow_faults
     assert data["nr_free_pages"] == sum(kernel.node_free_pages())
     assert data["pswpout"] == 2 and data["nr_swap_used"] == 2
+    assert data["pswpin"] == kernel.stats.pages_swapped_in == 0
     # rendering: one "name value" pair per line, same numbers
     rendered = dict(
         line.split() for line in procfs.vmstat(kernel).splitlines()
     )
     assert int(rendered["numa_hit"]) == data["numa_hit"]
     assert int(rendered["pgmigrate_success"]) == 4
+
+
+def test_vmstat_identical_fast_vs_slow():
+    """Every telemetry-backed vmstat row must be bit-identical whether
+    the turbo run commits or the per-page slow path did the work — the
+    KernelStats contract, pinned here at the procfs surface."""
+
+    def run(slow: bool) -> dict:
+        system = System(debug_checks=True)
+        system.kernel.force_slow_path = slow
+        attach_swap(system.kernel)
+        proc = system.create_process("view")
+        npages = 512
+
+        def body(t):
+            addr = yield from t.mmap(npages * PAGE_SIZE, PROT_RW, name="buf")
+            # batch=1 storms: demand-zero turbo, then swap-out and a
+            # swap-in storm, then a bulk migration — every run kind
+            # with a fast/slow twin shows up in the counters.
+            yield from t.touch(addr, npages * PAGE_SIZE, write=True, batch=1)
+            yield from t.swap_out(addr, (npages // 2) * PAGE_SIZE)
+            yield from t.touch(addr, (npages // 2) * PAGE_SIZE, batch=1)
+            yield from t.move_range(addr, npages * PAGE_SIZE, 1)
+
+        drive(system, body, core=0, process=proc)
+        return procfs.vmstat_data(system.kernel)
+
+    fast, slow = run(False), run(True)
+    assert fast == slow
+    assert fast["pgmigrate_success"] == 512
+    assert fast["pswpout"] == fast["pswpin"] == 256
 
 
 def test_pagetypeinfo_matches_the_allocators():
@@ -161,11 +203,22 @@ def test_introspect_cli_renders_every_view(capsys):
         "=== phase breakdown ===",
         "=== page flows",
         "numa_maps",
+        "=== kernel stats ===",
         "=== /proc/vmstat ===",
         "=== /proc/pagetypeinfo ===",
         "placement heatmap",
     ):
         assert section in out
+    # the kernel stats section and the vmstat view read the same
+    # counters, so the migration totals printed by both must agree
+    stats_lines = dict(
+        line.split()
+        for line in out.split("=== kernel stats ===")[1]
+        .split("===")[0]
+        .strip()
+        .splitlines()
+    )
+    assert "run_ops.migrate" in stats_lines and "node_used.node0" in stats_lines
     # vmstat numbers printed by the CLI agree with numastat semantics:
     # the workload allocates every page as a hit
     rendered = dict(
@@ -176,3 +229,4 @@ def test_introspect_cli_renders_every_view(capsys):
         .splitlines()
     )
     assert int(rendered["numa_hit"]) >= int(rendered["pgmigrate_success"]) > 0
+    assert int(stats_lines["pages_migrated"]) == int(rendered["pgmigrate_success"])

@@ -1,0 +1,250 @@
+"""Tests for the always-on telemetry layer (repro.obs.telemetry,
+repro.obs.timeseries) and the explicit ``Ledger.traced`` turbo gate.
+
+The load-bearing properties:
+
+* reading the counters never disengages the fast paths — a fresh
+  system with telemetry is turbo-eligible, and sampling keeps it so;
+* tracer attach/detach flips turbo eligibility through the explicit
+  ``Ledger.traced`` flag (no ``__dict__`` sniffing), with stacked
+  tracers unwinding LIFO;
+* the documented counter registry (``COUNTERS``) and the live
+  ``KernelStats`` fields cannot drift apart;
+* series merge in point order, invariant to how points were sharded.
+
+Fast-vs-slow bit-identity of the counters themselves is pinned by
+``tests/test_fastpath_equivalence.py`` (the counters and a closing
+time-series sample are part of the diffed canonical state).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import drive
+from repro import PROT_RW, System
+from repro.obs.telemetry import (
+    COUNTERS,
+    MIGRATION_REASONS,
+    RUN_KINDS,
+    KernelStats,
+    stats_snapshot,
+)
+from repro.obs.timeseries import (
+    DEFAULT_CAPACITY,
+    SCHEMA,
+    TimeSeriesSampler,
+    chrome_counter_events,
+    merge_series,
+)
+from repro.sim.trace import Tracer
+from repro.util import PAGE_SIZE
+
+
+# ----------------------------------------------------------- KernelStats ----
+
+
+def test_counters_start_at_zero_with_fixed_keys():
+    stats = KernelStats()
+    assert all(getattr(stats, name) == 0 for name in KernelStats.SCALARS)
+    assert set(stats.migrations) == set(MIGRATION_REASONS)
+    assert set(stats.run_ops) == set(stats.run_pages) == set(RUN_KINDS)
+    assert all(v == 0 for v in stats.snapshot().values())
+
+
+def test_record_helpers_and_flat_names():
+    stats = KernelStats()
+    stats.record_migration("move_pages", 7)
+    stats.record_run("migrate", 7, ops=2)
+    stats.record_run("demand_zero", 64)
+    flat = stats.snapshot()
+    assert flat["migrations.move_pages"] == 7
+    assert flat["run_ops.migrate"] == 2
+    assert flat["run_pages.migrate"] == 7
+    assert flat["run_ops.demand_zero"] == 1
+    assert flat["run_pages.demand_zero"] == 64
+    # fixed keys: a typo'd reason/kind raises instead of minting a key
+    with pytest.raises(KeyError):
+        stats.record_migration("mbind", 1)
+    with pytest.raises(KeyError):
+        stats.record_run("hugepage", 1)
+
+
+def test_registry_matches_the_live_fields():
+    """``COUNTERS`` (what docs/observability.md §10 documents) expands
+    to exactly the names ``stats_snapshot`` emits — same contract the
+    docs checker enforces against the markdown table."""
+    system = System()
+    num_nodes = system.machine.num_nodes
+    expected = set()
+    for name, _unit, _desc in COUNTERS:
+        if "<reason>" in name:
+            expected |= {name.replace("<reason>", r) for r in MIGRATION_REASONS}
+        elif "<kind>" in name:
+            expected |= {name.replace("<kind>", k) for k in RUN_KINDS}
+        elif "<N>" in name:
+            expected |= {name.replace("<N>", str(n)) for n in range(num_nodes)}
+        else:
+            expected.add(name)
+    assert set(stats_snapshot(system.kernel)) == expected
+
+
+# --------------------------------------------------- turbo eligibility ----
+
+
+def test_telemetry_never_trips_turbo():
+    system = System()
+    kernel = system.kernel
+    assert kernel.turbo_ok()
+    # reading counters and sampling a series is not an observer
+    kernel.stats.snapshot()
+    sampler = TimeSeriesSampler(kernel)
+    sampler.sample()
+    assert kernel.turbo_ok()
+
+
+def test_tracer_attach_detach_flips_turbo_eligibility():
+    """The explicit ``Ledger.traced`` flag: attach disengages the fast
+    paths, detach restores them — the regression the old ``__dict__``
+    sniff could not express."""
+    system = System()
+    kernel = system.kernel
+    assert kernel.turbo_ok() and not kernel.ledger.traced
+    tracer = Tracer()
+    tracer.attach(kernel)
+    assert kernel.ledger.traced and not kernel.turbo_ok()
+    tracer.detach(kernel)
+    assert not kernel.ledger.traced and kernel.turbo_ok()
+    # detach on an untraced kernel is a no-op
+    tracer.detach(kernel)
+    assert kernel.turbo_ok()
+
+
+def test_stacked_tracers_unwind_lifo():
+    system = System()
+    kernel = system.kernel
+    first, second = Tracer(), Tracer()
+    first.attach(kernel)
+    second.attach(kernel)
+    assert kernel.ledger.traced
+    second.detach(kernel)
+    # one tracer still hooked: turbo stays off, and its wrapper still
+    # records charges
+    assert kernel.ledger.traced and not kernel.turbo_ok()
+    before = len(first.samples)
+    kernel.ledger.add("probe", 1.0)
+    assert len(first.samples) == before + 1
+    assert not second.filter("probe")
+    first.detach(kernel)
+    assert not kernel.ledger.traced and kernel.turbo_ok()
+
+
+def test_traced_kernel_still_counts():
+    """Counters accumulate identically with a tracer attached (they
+    sit below the ledger hook, on the kernel paths themselves)."""
+
+    def run(traced: bool) -> dict:
+        system = System()
+        if traced:
+            Tracer().attach(system.kernel)
+        proc = system.create_process("p")
+
+        def body(t):
+            addr = yield from t.mmap(64 * PAGE_SIZE, PROT_RW)
+            yield from t.touch(addr, 64 * PAGE_SIZE, write=True, batch=1)
+            yield from t.move_range(addr, 32 * PAGE_SIZE, 1)
+
+        drive(system, body, core=0, process=proc)
+        return system.kernel.stats.snapshot()
+
+    fast, slow = run(False), run(True)
+    assert fast == slow
+    assert fast["pages_migrated"] == 32
+    assert fast["minor_faults"] == 64
+
+
+# ------------------------------------------------------------- sampler ----
+
+
+def test_sampler_points_and_snapshot_fields():
+    system = System()
+    proc = system.create_process("p")
+    sampler = TimeSeriesSampler(system.kernel)
+
+    def body(t):
+        addr = yield from t.mmap(16 * PAGE_SIZE, PROT_RW)
+        yield from t.touch(addr, 16 * PAGE_SIZE)
+
+    drive(system, body, core=0, process=proc)
+    point = sampler.sample()
+    assert point["t_us"] == float(system.kernel.env.now)
+    assert point["minor_faults"] == 16
+    assert point["node_used.node0"] >= 16
+    doc = sampler.to_dict()
+    assert doc["schema"] == SCHEMA
+    assert doc["capacity"] == DEFAULT_CAPACITY
+    assert doc["dropped"] == 0 and len(doc["points"]) == 1
+    json.dumps(doc)  # JSON-ready, no numpy scalars
+
+
+def test_sampler_ring_bound_and_drop_accounting():
+    system = System()
+    sampler = TimeSeriesSampler(system.kernel, capacity=4)
+    for _ in range(10):
+        sampler.sample()
+    assert len(sampler.points) == 4
+    assert sampler.dropped == 6
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(system.kernel, capacity=0)
+
+
+def test_maybe_sample_dedups_by_simulated_time():
+    system = System()
+    sampler = TimeSeriesSampler(system.kernel)
+    assert sampler.maybe_sample(100.0) is not None  # first call samples
+    assert sampler.maybe_sample(100.0) is None  # no sim time passed
+    assert len(sampler.points) == 1
+
+
+def test_sampler_extra_sources_skip_none():
+    system = System()
+    sampler = TimeSeriesSampler(
+        system.kernel,
+        extra_sources={"app.p99": lambda: None, "app.rate": lambda: 3.5},
+    )
+    point = sampler.sample()
+    assert "app.p99" not in point
+    assert point["app.rate"] == 3.5
+
+
+# ------------------------------------------------------------- exports ----
+
+
+def test_chrome_counter_events_shape():
+    system = System()
+    sampler = TimeSeriesSampler(system.kernel)
+    sampler.sample()
+    events = chrome_counter_events(sampler.to_dict(), process_name="t")
+    meta, counters = events[0], events[1:]
+    assert meta["ph"] == "M" and meta["args"]["name"] == "t"
+    assert counters and all(e["ph"] == "C" for e in counters)
+    assert all("t_us" != e["name"] for e in counters)
+    assert all(e["args"]["value"] is not None for e in counters)
+
+
+def test_merge_series_order_and_accounting():
+    system = System()
+    one = TimeSeriesSampler(system.kernel, capacity=1)
+    one.sample()
+    one.sample()  # evicts: dropped=1
+    two = TimeSeriesSampler(system.kernel)
+    two.sample()
+    merged = merge_series([one.to_dict(), None, two.to_dict()])
+    assert merged["schema"] == SCHEMA
+    assert merged["dropped"] == 1
+    assert merged["capacity"] == DEFAULT_CAPACITY
+    assert len(merged["points"]) == 2
+    # order given is order kept
+    assert merged["points"][0] is one.points[0] or merged["points"][0] == one.points[0]

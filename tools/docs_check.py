@@ -27,7 +27,10 @@ It additionally holds two docs to their contracts:
   implemented but never documented;
 * ``docs/observability.md`` §9: the tracepoint table must list exactly
   the names in ``repro.obs.tracepoints.TRACEPOINTS``, each with its
-  exact field list.
+  exact field list;
+* ``docs/observability.md`` §10: the telemetry counter table must list
+  exactly the names in ``repro.obs.telemetry.COUNTERS``, each with its
+  exact unit.
 
 Run via ``make docs-check``. Exit status 1 lists every broken
 reference with ``file:line``.
@@ -196,11 +199,56 @@ def check_tracepoint_contract() -> list[str]:
     return errors
 
 
+def check_telemetry_contract() -> list[str]:
+    """docs/observability.md §10's counter table == the registry.
+
+    Rows are ``| `name` | `unit` | meaning |`` between the '## 10.'
+    heading and the next section (or end of file); wildcard names
+    (``<reason>``, ``<kind>``, ``node<N>``) are compared literally —
+    the registry spells them the same way.
+    """
+    from repro.obs.telemetry import COUNTERS
+
+    registry = {name: unit for name, unit, _desc in COUNTERS}
+    doc = REPO / "docs/observability.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(REPO)}: missing (telemetry contract unverifiable)"]
+    text = doc.read_text()
+    match = re.search(r"^## 10\..*?(?=^## |\Z)", text, re.MULTILINE | re.DOTALL)
+    if match is None:
+        return [f"{doc.relative_to(REPO)}: no '## 10.' telemetry section found"]
+    documented = dict(
+        re.findall(
+            r"^\| `([a-zA-Z_.<>]+)` \| `([a-z]+)` \|", match.group(0), re.MULTILINE
+        )
+    )
+    errors = []
+    for name in sorted(set(documented) - set(registry)):
+        errors.append(
+            f"{doc.relative_to(REPO)}: counter {name!r} documented but "
+            "not registered in repro.obs.telemetry.COUNTERS"
+        )
+    for name in sorted(set(registry) - set(documented)):
+        errors.append(
+            f"{doc.relative_to(REPO)}: counter {name!r} registered but "
+            "missing from the docs/observability.md table"
+        )
+    for name in sorted(set(documented) & set(registry)):
+        if documented[name] != registry[name]:
+            errors.append(
+                f"{doc.relative_to(REPO)}: counter {name!r} unit "
+                f"{documented[name]!r} does not match the registry's "
+                f"{registry[name]!r}"
+            )
+    return errors
+
+
 def main() -> int:
     choices, flags = cli_vocabulary()
     targets = make_targets()
     errors: list[str] = list(check_invariant_contract())
     errors.extend(check_tracepoint_contract())
+    errors.extend(check_telemetry_contract())
     for path in DOC_FILES:
         if not path.exists():
             errors.append(f"{path.relative_to(REPO)}: listed doc file missing")

@@ -54,6 +54,7 @@ SCHEMA = "repro.bench.wall/v1"
 DEFAULT_TOLERANCE = 0.25
 DEFAULT_BASELINE = os.path.join("benchmarks", "BENCH_WALL_baseline.json")
 RESULTS_FILENAME = "BENCH_wall.json"
+HISTORY_FILENAME = "BENCH_wall_history.jsonl"
 
 #: Pinned scenario sizes. fig4's 262144 pages is 1 GiB of 4-KiB pages —
 #: the size the fast-path work is judged against.
@@ -203,6 +204,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the committed baseline from this run",
     )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help=f"append one JSON line per run (commit, medians, verdict) "
+        f"to <out>/{HISTORY_FILENAME} — the sweep-wide run history",
+    )
     args = parser.parse_args(argv)
 
     from repro.experiments.parallel import resolve_workers
@@ -244,6 +251,28 @@ def main(argv=None) -> int:
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+    if args.append_history:
+        # One self-contained line per run: enough to plot medians over
+        # commits without parsing full reports.
+        record = {
+            "schema": SCHEMA,
+            "git_revision": report["git_revision"],
+            "tolerance": args.tolerance,
+            "repeats": repeats,
+            "workers": used_workers,
+            "metrics": metrics,
+            "verdict": (
+                "no-baseline"
+                if baseline is None
+                else ("regression" if failures else "ok")
+            ),
+            "failures": failures,
+        }
+        history_path = os.path.join(args.out, HISTORY_FILENAME)
+        with open(history_path, "a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"[wall history: {history_path}]")
 
     for name in sorted(metrics):
         if comparison and name in comparison and comparison[name]["baseline"] is not None:
