@@ -38,6 +38,7 @@ throughput/latency table; ``docs/serving.md`` documents the model.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -49,7 +50,7 @@ from ..kernel.heat import HeatTracker
 from ..kernel.syscalls import Madvise
 from ..kernel.vma import PROT_READ, PROT_RW
 from ..obs import tracepoints
-from ..obs.metrics import Histogram, _quantile
+from ..obs.metrics import Histogram, _min_samples, _quantile
 from ..obs.timeseries import TimeSeriesSampler
 from ..sched.scheduler import Placement
 from ..sim.rng import make_rng
@@ -138,6 +139,23 @@ class ZipfianKeys:
         """One uniform draw from the same stream (read/write coin)."""
         return float(self._rng.random())
 
+    def pairs(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """``n`` (rank, coin) pairs in one vectorized draw.
+
+        Consumes the underlying stream exactly as ``n`` interleaved
+        :meth:`sample` / :meth:`uniform` call pairs would (one uniform
+        each, in that order), and ranks equal the scalar searchsorted
+        result bit-for-bit — pinned by ``tests/test_serve.py``. Ranks
+        are returned *unrotated*: the caller applies
+        ``(rank + offset(t)) % nkeys`` at each request's own simulated
+        time, so drift boundaries inside a batch behave exactly as in
+        the scalar path.
+        """
+        draws = self._rng.random(2 * int(n))
+        ranks = np.searchsorted(self._cdf, draws[0::2], side="right")
+        np.minimum(ranks, self.nkeys - 1, out=ranks)
+        return ranks, draws[1::2]
+
 
 @dataclass(frozen=True)
 class TenantSpec:
@@ -216,6 +234,11 @@ class SloGate:
         self.slo_us = float(slo_us)
         self.recover_fraction = float(recover_fraction)
         self._window: deque[float] = deque(maxlen=window)
+        #: sorted mirror of ``_window`` — materialized by the first
+        #: :meth:`observe_batch` and kept in lockstep by both feed
+        #: paths from then on; stays ``None`` (and costs nothing) in
+        #: runs that only ever call :meth:`observe`
+        self._svals: Optional[list[float]] = None
         self.at_risk = False
         self.breaches = 0
         self.recoveries = 0
@@ -224,12 +247,21 @@ class SloGate:
 
     def rolling_p99(self) -> Optional[float]:
         """The window's p99, or ``None`` while the window is too small."""
+        if self._svals is not None:
+            return _quantile(self._svals, 0.99)
         return _quantile(sorted(self._window), 0.99)
 
     def observe(self, latency_us: float, now_us: float = 0.0) -> Optional[str]:
         """Feed one latency; returns ``"breach"``/``"recover"`` on a
         transition, ``None`` otherwise (including inside the band)."""
-        self._window.append(float(latency_us))
+        latency_us = float(latency_us)
+        window = self._window
+        svals = self._svals
+        if svals is not None and len(window) == window.maxlen:
+            del svals[bisect_left(svals, window[0])]
+        window.append(latency_us)
+        if svals is not None:
+            insort(svals, latency_us)
         p99 = self.rolling_p99()
         if p99 is None:
             return None
@@ -244,6 +276,56 @@ class SloGate:
             self.transitions.append({"t_us": now_us, "event": "recover", "p99_us": p99})
             return "recover"
         return None
+
+    def observe_batch(self, latencies: Sequence[float], times: Sequence[float]) -> None:
+        """Feed many latencies with their completion times.
+
+        Bit-identical to calling :meth:`observe` once per pair, but the
+        rolling window's sorted view is maintained incrementally (one
+        eviction + one insertion per sample) instead of re-sorting 256
+        floats per request — this is where the serve turbo path
+        (:mod:`repro.apps.servops`) spends its gate budget. Transitions
+        land in :attr:`transitions` exactly as the scalar path records
+        them; the return value (unneeded in batch: tracepoints are
+        inactive whenever batches exist) is dropped.
+        """
+        window = self._window
+        maxlen = window.maxlen
+        svals = self._svals
+        if svals is None:
+            svals = self._svals = sorted(window)
+        slo = self.slo_us
+        recover_at = self.slo_us * self.recover_fraction
+        transitions = self.transitions
+        # ``_quantile(svals, 0.99)`` inlined against the sorted mirror:
+        # same index arithmetic, minus a function call and the
+        # ``_min_samples`` ceil/round per sample.
+        need = _min_samples(0.99)
+        for latency, now in zip(latencies, times):
+            latency = float(latency)
+            if len(window) == maxlen:
+                evicted = window[0]
+                del svals[bisect_left(svals, evicted)]
+            window.append(latency)
+            insort(svals, latency)
+            m = len(svals)
+            if m < need:
+                continue
+            pos = 0.99 * (m - 1)
+            lo = int(pos)
+            frac = pos - lo
+            if frac == 0.0 or lo + 1 >= m:
+                p99 = float(svals[lo])
+            else:
+                p99 = float(svals[lo] + (svals[lo + 1] - svals[lo]) * frac)
+            if not self.at_risk and p99 > slo:
+                self.at_risk = True
+                self.breaches += 1
+                transitions.append({"t_us": now, "event": "breach", "p99_us": p99})
+            elif self.at_risk and p99 <= recover_at:
+                self.at_risk = False
+                self.recoveries += 1
+                transitions.append({"t_us": now, "event": "recover", "p99_us": p99})
 
     def summary(self) -> dict:
         """Manifest-ready gate state."""
@@ -277,6 +359,10 @@ class _Tenant:
         self.client_nodes: set[int] = set()
         self.active = False  #: region mapped, clients running
         self.departed = False
+        #: the policy driver's next wake instant, ``None`` while the
+        #: driver is mid-tick — the serve turbo lease horizon never
+        #: crosses it (see :mod:`repro.apps.servops`)
+        self.next_wake: Optional[float] = None
 
     def holds(self, addr: int) -> bool:
         return self.active and self.addr <= addr < self.addr + self.nbytes
@@ -337,6 +423,23 @@ class PolicyDriver:
         """Teardown before the tenant's region unmaps (generator)."""
         return
         yield  # pragma: no cover - makes this a generator
+
+    # --------------------------------------------------------- serve turbo --
+    def turbo_safe(self, tenant: _Tenant) -> bool:
+        """May the serve turbo commit this tenant's requests right now?
+
+        Base policies mutate placement only inside :meth:`tick`, which
+        the lease horizon never crosses, so they are always safe.
+        Policies with asynchronous mutators override this.
+        """
+        return True
+
+    def build_serve_table(self, turbo, tenant: _Tenant, node: int):
+        """The request classifier the serve turbo plans from (or
+        ``None`` when the tenant's region defies classification)."""
+        from .servops import build_generic_table
+
+        return build_generic_table(turbo.kernel, tenant, node, REQUEST_BYTES)
 
     # ------------------------------------------------------------- helpers --
     def _hot_misplaced(self, tenant: _Tenant) -> list[tuple[int, int]]:
@@ -483,6 +586,12 @@ class AutoNumaPolicy(PolicyDriver):
         return
         yield  # pragma: no cover - makes this a generator
 
+    def turbo_safe(self, tenant: _Tenant) -> bool:
+        # An active scanner marks PTEs from its own daemon thread at
+        # instants the lease horizon cannot see — requests must run
+        # per-request while it is attached.
+        return tenant.spec.name not in self._scanners
+
 
 class ReplicationPolicy(PolicyDriver):
     """Read replicas of the hot set on every client node.
@@ -574,6 +683,17 @@ class ReplicationPolicy(PolicyDriver):
         manager = self._managers.pop(tenant.spec.name, None)
         if manager is not None:
             yield from manager.collapse(thread, tenant.addr, tenant.nbytes)
+
+    def build_serve_table(self, turbo, tenant: _Tenant, node: int):
+        from .servops import build_replicate_table
+
+        manager = self._managers.get(tenant.spec.name)
+        if manager is None:
+            return None
+        return build_replicate_table(
+            turbo.kernel, manager, tenant, node, REQUEST_BYTES,
+            cache=turbo.table_cache,
+        )
 
 
 #: The raced policies, in the order the experiments report them.
@@ -671,6 +791,9 @@ class KVServer:
             self.heat = HeatTracker(system.kernel.machine.num_nodes)
             system.kernel.access_profiler = self.heat
         self._acc: dict[int, np.ndarray] = {}
+        #: the batching controller (``repro.apps.servops``), installed
+        #: by :meth:`run` when ``serve_turbo_ok`` holds at start
+        self._turbo = None
         # Always-on telemetry series, sampled from the policy drivers'
         # existing wakes (pull-based: a dedicated sampling timer would
         # keep ``env.idle`` false and disengage the turbo paths).
@@ -719,7 +842,11 @@ class KVServer:
     # ---------------------------------------------------------------- run ----
     def run(self) -> ServeStats:
         """Drive every tenant to completion; returns the run's stats."""
+        from .servops import ServeTurbo, serve_turbo_ok
+
         system = self.system
+        if serve_turbo_ok(system.kernel):
+            self._turbo = ServeTurbo(self)
         loaders = [
             system.spawn(
                 system.create_process(f"kv.{tenant.spec.name}"),
@@ -768,6 +895,10 @@ class KVServer:
             body=lambda dt, ten=tenant: self._driver_body(ten, dt),
             name=f"kv.{spec.name}.policyd",
         )
+        # The driver body starts zero-delay at this same instant, so its
+        # first wake deadline is exactly ``now + period`` — register it
+        # before any client runs (clients only start at the join yield).
+        tenant.next_wake = kernel.env.now + self.policy.period_us
         for client in clients:
             yield client.join()
         tenant.departed = True  # driver exits at its next wake
@@ -778,7 +909,15 @@ class KVServer:
         yield from t.munmap(tenant.addr, tenant.nbytes)
 
     def _client_body(self, tenant: _Tenant, rank: int, t):
-        """One client stream: sample, access, think, record."""
+        """One client stream: sample, access, think, record.
+
+        With the serve turbo installed the stream alternates between
+        *leases* (a run of requests committed ahead of simulated time,
+        parked on one ``timeout_at``) and single per-request
+        iterations for whatever the lease refused — which consume the
+        exact pre-drawn Zipfian pair the lease stopped at, so the
+        stream's key/coin sequence matches the scalar world's.
+        """
         spec = tenant.spec
         kernel = t.kernel
         env = kernel.env
@@ -790,58 +929,123 @@ class KVServer:
             drift_step=spec.drift_step,
             drift_period_us=spec.drift_period_us,
         )
-        for _ in range(spec.requests):
-            key = zipf.sample(env.now)
-            write = zipf.uniform() >= spec.read_fraction
-            addr = tenant.addr + key * tenant.value_bytes
-            start = env.now
-            yield from self.policy.access(t, tenant, addr, write)
-            if spec.think_us > 0:
-                yield t.compute(spec.think_us, tag="serve.think")
-            latency = env.now - start
-            tenant.requests_done += 1
-            tenant.writes += int(write)
-            tenant.hist.observe(latency)
-            self.hist.observe(latency)
-            transition = tenant.gate.observe(latency, env.now)
-            if transition is not None and tracepoints.active(kernel):
-                tracepoints.emit(
-                    "serve:policy",
-                    kernel,
-                    tenant=spec.name,
-                    policy=self.policy.name,
-                    action=f"gate_{transition}",
-                    pages=0,
+        turbo = self._turbo
+        if turbo is None:
+            for _ in range(spec.requests):
+                key = zipf.sample(env.now)
+                write = zipf.uniform() >= spec.read_fraction
+                kernel.stats.serve_slow_requests += 1
+                yield from self._slow_request(tenant, rank, t, key, write)
+            return
+        # No policy serves a read faster than an all-local access plus
+        # think — the floor lookahead leans on this lower bound.
+        read_lb = (
+            spec.value_pages * REQUEST_BYTES / kernel.cost.local_stream_bw
+            + spec.think_us
+        )
+        state = turbo.register(tenant, rank, t.node, zipf, read_lb)
+        while state.done < spec.requests:
+            if turbo.lease(state):
+                yield env.timeout_at(state.park)
+                continue
+            # Queued effects up to now must land before this request's
+            # live ones (reservoir and gate order are time order).
+            turbo.flush(env.now)
+            rank_draw, coin = turbo.take_pair(state)
+            key = (rank_draw + zipf.offset(env.now)) % spec.keys
+            write = coin >= spec.read_fraction
+            kernel.stats.serve_slow_requests += 1
+            yield from self._slow_request(tenant, rank, t, key, write, state)
+
+    def _slow_request(
+        self, tenant: _Tenant, rank: int, t, key: int, write: bool, state=None
+    ):
+        """One request on the per-request path (the turbo's reference)."""
+        spec = tenant.spec
+        kernel = t.kernel
+        env = kernel.env
+        addr = tenant.addr + key * tenant.value_bytes
+        start = env.now
+        yield from self.policy.access(t, tenant, addr, write)
+        if state is not None:
+            # Every kernel op of this request (for a write: the whole
+            # fence/touch/seal choreography) has now run; this client
+            # cannot start another request — hence cannot mutate
+            # replica state again — before its think timer expires,
+            # plus a full read duration for every pre-drawn read ahead
+            # of its next write. Publishing that lifts the sibling
+            # floor so peers' leases keep committing replica-dependent
+            # reads meanwhile.
+            if state.done >= spec.requests:
+                state.committed_until = float("inf")
+            else:
+                state.committed_until = (
+                    env.now + spec.think_us
+                    + self._turbo.write_lookahead_us(state)
                 )
-            if tracepoints.active(kernel):
-                tracepoints.emit(
-                    "serve:request",
-                    kernel,
-                    tenant=spec.name,
-                    client=rank,
-                    key=int(key),
-                    node=t.node,
-                    write=bool(write),
-                    dur_us=latency,
-                )
+        if spec.think_us > 0:
+            yield t.compute(spec.think_us, tag="serve.think")
+        if self._turbo is not None:
+            # Sibling commits that completed while this request ran
+            # observe before it does, as they would have live.
+            self._turbo.flush(env.now)
+        latency = env.now - start
+        tenant.requests_done += 1
+        tenant.writes += int(write)
+        tenant.hist.observe(latency)
+        self.hist.observe(latency)
+        transition = tenant.gate.observe(latency, env.now)
+        if transition is not None and tracepoints.active(kernel):
+            tracepoints.emit(
+                "serve:policy",
+                kernel,
+                tenant=spec.name,
+                policy=self.policy.name,
+                action=f"gate_{transition}",
+                pages=0,
+            )
+        if tracepoints.active(kernel):
+            tracepoints.emit(
+                "serve:request",
+                kernel,
+                tenant=spec.name,
+                client=rank,
+                key=int(key),
+                node=t.node,
+                write=bool(write),
+                dur_us=latency,
+            )
 
     def _driver_body(self, tenant: _Tenant, t):
         """Per-tenant policy daemon: wake, consult the gate, act."""
         env = t.kernel.env
+        period = self.policy.period_us
+        turbo = self._turbo
         while True:
-            yield env.timeout(self.policy.period_us)
+            yield env.timeout(period)
+            # Mid-tick: leases must not plan past a wake in progress.
+            tenant.next_wake = None
+            if turbo is not None:
+                # Strictly before the wake: at an exact tie the slow
+                # world's driver event pops first (it was pushed a full
+                # period earlier), so same-instant completions land
+                # after the sample.
+                turbo.flush(env.now, strict=True)
             # Telemetry rides the wake the driver already pays for;
             # when several tenants' drivers share an instant,
             # ``maybe_sample`` keeps one point per period.
-            self.sampler.maybe_sample(self.policy.period_us)
+            self.sampler.maybe_sample(period)
             if tenant.departed:
                 return
             act = (not self.gated) or tenant.gate.at_risk
             yield from self.policy.tick(t, tenant, act)
+            tenant.next_wake = env.now + period
 
     # --------------------------------------------------------------- stats ---
     def _stats(self) -> ServeStats:
         kernel = self.system.kernel
+        if self._turbo is not None:
+            self._turbo.finalize()
         self.sampler.sample()  # closing point at end-of-run state
         total = sum(t.requests_done for t in self.tenants)
         start = min(t.start_us for t in self.tenants if t.start_us is not None)

@@ -27,11 +27,34 @@ class Ledger:
         #: wall-clock fast paths off while every charge must be
         #: individually observable.
         self.traced = False
+        #: Optional ``(prefixes, sink)`` installed by the serve turbo
+        #: controller (:mod:`repro.apps.servops`): while set, adds whose
+        #: tag matches a prefix are routed to ``sink(tag, us)`` instead
+        #: of the totals, so the controller can interleave them with its
+        #: own queued charges and replay the whole stream in simulated
+        #: time order at finalize. Float addition is order-sensitive;
+        #: this is what keeps deferred totals bit-identical.
+        self._defer: "tuple[tuple[str, ...], object] | None" = None
 
     def add(self, tag: str, duration_us: float) -> None:
         """Record ``duration_us`` of work under ``tag``."""
+        defer = self._defer
+        if defer is not None and tag.startswith(defer[0]):
+            defer[1](tag, duration_us)
+            return
         self.totals[tag] += duration_us
         self.counts[tag] += 1
+
+    def begin_defer(self, prefixes: tuple[str, ...], sink) -> None:
+        """Route adds matching ``prefixes`` to ``sink`` until
+        :meth:`end_defer`. One deferral may be active at a time."""
+        if self._defer is not None:
+            raise RuntimeError("ledger deferral already active")
+        self._defer = (tuple(prefixes), sink)
+
+    def end_defer(self) -> None:
+        """Stop routing adds; the caller replays what it captured."""
+        self._defer = None
 
     def reset(self) -> None:
         """Clear all entries (used between measured phases)."""

@@ -43,6 +43,11 @@ class HeatTracker:
         self._counts: dict[tuple[int, int], np.ndarray] = {}
         #: touches recorded over the tracker's lifetime (never reset)
         self.touches_recorded = 0
+        #: per-node touch totals for the current window — maintained
+        #: incrementally so samplers read them in O(nodes) instead of
+        #: copying and summing every cell (integer counts, so the
+        #: running totals equal the cell sums exactly)
+        self._window_totals: list[int] = [0] * num_nodes
 
     # ------------------------------------------------------------- record ----
     def record(self, pid: int, vma, idx: int, run: int, node: int) -> None:
@@ -58,6 +63,35 @@ class HeatTracker:
                 cell = counts[(pid, addr)] = np.zeros(self.num_nodes, dtype=np.int64)
             cell[node] += 1
         self.touches_recorded += int(run)
+        self._window_totals[node] += int(run)
+
+    def record_many(self, entries) -> None:
+        """Batched :meth:`record` for pre-resolved touch runs.
+
+        ``entries`` is an iterable of ``(pid, base_addr, npages, node)``
+        tuples — the base address resolved when the touch was planned,
+        so a VMA split between planning and replay cannot skew the
+        addresses. Equivalent to calling :meth:`record` once per entry
+        in order; counts are commutative, so callers only need the
+        entries' *contents* to match the scalar stream, not their
+        relative order across structures.
+        """
+        counts = self._counts
+        num_nodes = self.num_nodes
+        totals = self._window_totals
+        recorded = 0
+        for pid, base, npages, node in entries:
+            if npages <= 0:
+                continue
+            for addr in range(base, base + (int(npages) << PAGE_SHIFT), PAGE_SIZE):
+                cell = counts.get((pid, addr))
+                if cell is None:
+                    cell = counts[(pid, addr)] = np.zeros(num_nodes, dtype=np.int64)
+                cell[node] += 1
+            npages = int(npages)
+            totals[node] += npages
+            recorded += npages
+        self.touches_recorded += recorded
 
     # ------------------------------------------------------------ queries ----
     def snapshot(self, *, clear: bool = True) -> dict[tuple[int, int], np.ndarray]:
@@ -69,8 +103,13 @@ class HeatTracker:
         out = self._counts
         if clear:
             self._counts = {}
+            self._window_totals = [0] * self.num_nodes
             return out
         return {key: cell.copy() for key, cell in out.items()}
+
+    def window_node_totals(self) -> list[int]:
+        """Per-node touch totals of the current window (a copy)."""
+        return list(self._window_totals)
 
     def hot_pages(
         self,

@@ -113,6 +113,47 @@ class Histogram:
             if slot < self.RESERVOIR_SIZE:
                 self._reservoir[slot] = value
 
+    def observe_many(self, values) -> None:
+        """Observe a sequence of values, bit-identically to a scalar
+        :meth:`observe` loop (pinned by ``tests/test_obs_metrics.py``).
+
+        The reservoir RNG is Python's ``random.Random`` — one
+        ``randrange`` per post-fill value, in stream order — so this is
+        a locals-hoisted sequential loop, not a NumPy kernel: the win
+        is shaving the per-call attribute traffic off hot batch paths
+        (the serve turbo flush), not vectorizing the math.
+        """
+        count = self.count
+        total = self.sum
+        lo, hi = self.min, self.max
+        reservoir = self._reservoir
+        size = self.RESERVOIR_SIZE
+        # ``randrange(count)`` inlined as CPython's ``_randbelow``
+        # (same getrandbits rejection loop, so the RNG stream — and
+        # with it the reservoir — stays bit-identical to the scalar
+        # path) minus the range/step argument checks per value.
+        getrandbits = self._rng.getrandbits
+        for value in values:
+            value = float(value)
+            count += 1
+            total += value
+            if lo is None or value < lo:
+                lo = value
+            if hi is None or value > hi:
+                hi = value
+            if len(reservoir) < size:
+                reservoir.append(value)
+            else:
+                k = count.bit_length()
+                slot = getrandbits(k)
+                while slot >= count:
+                    slot = getrandbits(k)
+                if slot < size:
+                    reservoir[slot] = value
+        self.count = count
+        self.sum = total
+        self.min, self.max = lo, hi
+
     @property
     def mean(self) -> Optional[float]:
         """Arithmetic mean, or ``None`` before any observation — the

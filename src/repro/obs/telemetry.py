@@ -45,6 +45,7 @@ __all__ = [
     "MIGRATION_REASONS",
     "RUN_KINDS",
     "COUNTERS",
+    "VARIANT_COUNTERS",
     "stats_snapshot",
 ]
 
@@ -93,6 +94,18 @@ class KernelStats:
     )
     DICTS: Tuple[str, ...] = ("migrations", "run_ops", "run_pages")
 
+    #: Host-side batching counters that *legitimately differ* between
+    #: the turbo and forced-slow serve paths (a slow run commits zero
+    #: batches by construction). They are deliberately excluded from
+    #: :meth:`flat` / :func:`stats_snapshot` — those feed time-series
+    #: points that must stay bit-identical fast-vs-slow — and surface
+    #: only through :meth:`variant_snapshot`.
+    VARIANT_SCALARS: Tuple[str, ...] = (
+        "serve_turbo_batches",
+        "serve_turbo_requests",
+        "serve_slow_requests",
+    )
+
     def __init__(self) -> None:
         self.minor_faults = 0
         self.nt_faults = 0
@@ -116,6 +129,10 @@ class KernelStats:
         self.run_ops = {kind: 0 for kind in RUN_KINDS}
         #: pages covered by those commits, by kind
         self.run_pages = {kind: 0 for kind in RUN_KINDS}
+        #: serve-turbo batching counters (variant — see VARIANT_SCALARS)
+        self.serve_turbo_batches = 0
+        self.serve_turbo_requests = 0
+        self.serve_slow_requests = 0
 
     # ------------------------------------------------------------ record ----
     def record_migration(self, reason: str, pages: int) -> None:
@@ -143,6 +160,16 @@ class KernelStats:
     def snapshot(self) -> dict:
         """All counters as one flat ``{dotted name: int}`` dict."""
         return dict(self.flat())
+
+    def variant_snapshot(self) -> dict:
+        """The :data:`VARIANT_SCALARS` as a ``{name: int}`` dict.
+
+        Kept out of :meth:`flat` on purpose: these count host-side
+        batching decisions, so a turbo and a forced-slow run disagree
+        by design. Equivalence diffs must drop them; dashboards that
+        want them read this accessor explicitly.
+        """
+        return {name: getattr(self, name) for name in self.VARIANT_SCALARS}
 
 
 def stats_snapshot(kernel) -> dict:
@@ -188,4 +215,15 @@ COUNTERS: Tuple[Tuple[str, str, str], ...] = (
     ("node_alloc.node<N>", "frames", "lifetime frame allocations on node N"),
     ("node_free.node<N>", "frames", "lifetime frame frees on node N"),
     ("node_used.node<N>", "frames", "frames currently allocated on node N"),
+)
+
+#: Variant counters (:attr:`KernelStats.VARIANT_SCALARS`): host-side
+#: serve batching decisions — excluded from ``flat()``/
+#: :func:`stats_snapshot` and from fast-vs-slow equivalence diffs,
+#: read via :meth:`KernelStats.variant_snapshot`. Documented in the
+#: same §10 table as :data:`COUNTERS` (the docs checker merges both).
+VARIANT_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
+    ("serve_turbo_batches", "batches", "serve request runs committed by the turbo path"),
+    ("serve_turbo_requests", "requests", "serve requests committed inside turbo batches"),
+    ("serve_slow_requests", "requests", "serve requests executed on the per-request path"),
 )

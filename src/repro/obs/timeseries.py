@@ -79,12 +79,17 @@ class TimeSeriesSampler:
         profiler = kernel.access_profiler
         if profiler is not None and hasattr(profiler, "touches_recorded"):
             point["heat.touches_recorded"] = int(profiler.touches_recorded)
-            node_heat = [0] * getattr(profiler, "num_nodes", 0)
-            for cell in profiler.snapshot(clear=False).values():
-                for node, count in enumerate(cell):
-                    node_heat[node] += int(count)
+            if hasattr(profiler, "window_node_totals"):
+                # O(nodes): the tracker keeps running window totals, so
+                # sampling does not copy-and-sum every heat cell.
+                node_heat = profiler.window_node_totals()
+            else:
+                node_heat = [0] * getattr(profiler, "num_nodes", 0)
+                for cell in profiler.snapshot(clear=False).values():
+                    for node, count in enumerate(cell):
+                        node_heat[node] += int(count)
             for node, count in enumerate(node_heat):
-                point[f"heat.node{node}"] = count
+                point[f"heat.node{node}"] = int(count)
         for name, source in self.extra_sources.items():
             value = source()
             if value is not None:

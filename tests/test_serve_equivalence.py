@@ -1,0 +1,174 @@
+"""Serve turbo vs per-request equivalence.
+
+The batching controller (:mod:`repro.apps.servops`) commits runs of
+requests ahead of simulated time and replays their float effects;
+these tests pin the contract that every simulated observable — latency
+histograms, SLO gate transitions, telemetry counters and series,
+ledger totals — is **bit-identical** to the per-request path, for
+every policy, and that the building blocks (vectorized Zipfian pairs,
+batched histogram/gate feeds) consume state exactly as their scalar
+counterparts do.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.apps.kvserver import (
+    KVServer,
+    SloGate,
+    ZipfianKeys,
+    default_tenants,
+    make_policy,
+)
+from repro.experiments.common import fresh_system
+from repro.experiments.fig_serve import race
+from repro.obs.metrics import Histogram
+from repro.obs.telemetry import stats_snapshot
+
+POLICIES = ("static", "move_pages", "nexttouch", "autonuma", "replicate")
+REQUESTS = 240
+
+
+def _race(policy, slow, monkeypatch):
+    if slow:
+        monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+    else:
+        monkeypatch.delenv("REPRO_SLOW_PATH", raising=False)
+    return race(policy, requests=REQUESTS, seed=20260809)
+
+
+# ------------------------------------------------- end-to-end, per policy ----
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_turbo_serve_is_bit_identical_to_slow_path(policy, monkeypatch):
+    """The full serve manifest — percentiles, SLO summaries, telemetry
+    series, ledger — is byte-identical with the turbo path on or off
+    (``REPRO_SLOW_PATH=1``)."""
+    turbo = _race(policy, False, monkeypatch).to_dict()
+    slow = _race(policy, True, monkeypatch).to_dict()
+    assert json.dumps(turbo, sort_keys=True) == json.dumps(slow, sort_keys=True)
+
+
+def _serve_static(slow, monkeypatch):
+    if slow:
+        monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+    else:
+        monkeypatch.delenv("REPRO_SLOW_PATH", raising=False)
+    system = fresh_system()
+    specs = default_tenants(
+        2, system.machine.num_nodes, keys=64, clients=2, requests=200
+    )
+    server = KVServer(system, specs, make_policy("static"), gated=False, seed=99)
+    stats = server.run()
+    return system.kernel, stats
+
+
+def test_turbo_engages_and_variant_counters_stay_out_of_snapshots(monkeypatch):
+    """The turbo world actually batches (variant counters say so), the
+    slow world reports zero batches, and neither world's
+    ``stats_snapshot`` contains the variant counters — they are wall
+    -clock bookkeeping, not simulated state."""
+    total = 2 * 2 * 200  # tenants x clients x requests
+    kernel_t, _ = _serve_static(False, monkeypatch)
+    variant_t = kernel_t.stats.variant_snapshot()
+    assert variant_t["serve_turbo_batches"] > 0
+    assert variant_t["serve_turbo_requests"] > 0
+    assert variant_t["serve_turbo_requests"] + variant_t["serve_slow_requests"] == total
+
+    kernel_s, _ = _serve_static(True, monkeypatch)
+    variant_s = kernel_s.stats.variant_snapshot()
+    assert variant_s["serve_turbo_batches"] == 0
+    assert variant_s["serve_turbo_requests"] == 0
+    assert variant_s["serve_slow_requests"] == total
+
+    for kernel in (kernel_t, kernel_s):
+        snapshot = stats_snapshot(kernel)
+        assert "serve_turbo_batches" not in snapshot
+        assert "serve_turbo_requests" not in snapshot
+        assert "serve_slow_requests" not in snapshot
+    # Simulated counters, by contrast, match exactly.
+    assert stats_snapshot(kernel_t) == stats_snapshot(kernel_s)
+
+
+# ------------------------------------------------------- building blocks ----
+
+def test_zipf_pairs_match_scalar_draws_across_drift_boundaries():
+    """``pairs(n)`` consumes the RNG stream exactly as n interleaved
+    sample()/uniform() call pairs, and the caller-side rotation
+    ``(rank + offset(t)) % nkeys`` reproduces scalar keys even when
+    consecutive requests straddle drift-period boundaries."""
+    nkeys = 96
+    kwargs = dict(seed=5, drift_step=7, drift_period_us=50.0)
+    batched = ZipfianKeys(nkeys, 0.9, **kwargs)
+    scalar = ZipfianKeys(nkeys, 0.9, **kwargs)
+    chunks = [batched.pairs(64), batched.pairs(136)]
+    t = 0.0
+    for ranks, coins in chunks:
+        for i in range(len(ranks)):
+            assert (int(ranks[i]) + batched.offset(t)) % nkeys == scalar.sample(t)
+            assert float(coins[i]) == scalar.uniform()
+            t += 17.0  # crosses a 50 us drift boundary every ~3 pairs
+
+
+def test_zipf_pairs_without_drift_need_no_rotation():
+    """With drift disabled ``offset`` is identically zero and pairs'
+    ranks are already clipped — the turbo loop uses them as keys
+    directly, so pin rank == scalar key."""
+    batched = ZipfianKeys(32, 0.9, seed=3)
+    scalar = ZipfianKeys(32, 0.9, seed=3)
+    ranks, coins = batched.pairs(100)
+    for i in range(100):
+        assert int(ranks[i]) == scalar.sample(123.0 * i)
+        assert float(coins[i]) == scalar.uniform()
+
+
+def test_observe_many_matches_sequential_observe_bit_for_bit():
+    """Reservoir contents *and* RNG state match a scalar observe loop
+    after arbitrary chunking — well past the reservoir bound, so the
+    Vitter replacement path (the inlined ``_randbelow``) is exercised."""
+    rng = random.Random(1234)
+    values = [rng.expovariate(1 / 50.0) for _ in range(2000)]
+    scalar = Histogram("serve.latency")
+    batched = Histogram("serve.latency")
+    for v in values:
+        scalar.observe(v)
+    batched.observe_many(values[:7])
+    batched.observe_many([])  # empty batch is a no-op
+    batched.observe_many(values[7:700])
+    batched.observe_many(values[700:])
+    assert batched.count == scalar.count
+    assert batched.sum == scalar.sum
+    assert batched.min == scalar.min
+    assert batched.max == scalar.max
+    assert batched._reservoir == scalar._reservoir
+    assert batched._rng.getstate() == scalar._rng.getstate()
+    assert batched.dump() == scalar.dump()
+
+
+def test_gate_observe_batch_matches_scalar_observe():
+    """The incrementally-sorted window view feeds the exact hysteresis
+    logic: transitions, counts and the rolling p99 all match a scalar
+    observe loop — and a gate that mixes both paths (slow requests
+    interleaved with drained batches) stays in lockstep too."""
+    rng = random.Random(77)
+    samples = [(rng.uniform(50.0, 2000.0), float(i)) for i in range(1500)]
+    scalar = SloGate(900.0, window=128)
+    batched = SloGate(900.0, window=128)
+    mixed = SloGate(900.0, window=128)
+    for latency, t in samples:
+        scalar.observe(latency, t)
+    batched.observe_batch([s[0] for s in samples], [s[1] for s in samples])
+    for i in range(0, len(samples), 13):
+        chunk = samples[i:i + 7]
+        mixed.observe_batch([s[0] for s in chunk], [s[1] for s in chunk])
+        for latency, t in samples[i + 7:i + 13]:
+            mixed.observe(latency, t)
+    for gate in (batched, mixed):
+        assert gate.transitions == scalar.transitions
+        assert gate.at_risk == scalar.at_risk
+        assert gate.breaches == scalar.breaches
+        assert gate.recoveries == scalar.recoveries
+        assert gate.rolling_p99() == scalar.rolling_p99()
+        assert list(gate._window) == list(scalar._window)

@@ -207,9 +207,9 @@ def check_telemetry_contract() -> list[str]:
     (``<reason>``, ``<kind>``, ``node<N>``) are compared literally —
     the registry spells them the same way.
     """
-    from repro.obs.telemetry import COUNTERS
+    from repro.obs.telemetry import COUNTERS, VARIANT_COUNTERS
 
-    registry = {name: unit for name, unit, _desc in COUNTERS}
+    registry = {name: unit for name, unit, _desc in COUNTERS + VARIANT_COUNTERS}
     doc = REPO / "docs/observability.md"
     if not doc.exists():
         return [f"{doc.relative_to(REPO)}: missing (telemetry contract unverifiable)"]

@@ -18,7 +18,12 @@ off one-off scheduler hiccups) with fully pinned inputs:
 * ``whatif.sweep_s@64x2`` — the kernel next-touch sweep on a 64-node
   fabric (the large-machine what-if shape);
 * ``fuzz.corpus_s@20x25`` — 20 seeded differential-fuzzer workloads of
-  25 ops each (seeds 1..20), the mixed-syscall shape.
+  25 ops each (seeds 1..20), the mixed-syscall shape;
+* ``serve.sweep_s@3x4000`` — the KV serving race (static, move_pages,
+  nexttouch) at 4000 requests/policy, the serve-turbo batching gate: a
+  change that silently disengages request batching
+  (``repro.apps.servops``) multiplies this wall several-fold while
+  every simulated serve metric stays bit-identical.
 
 All metrics are seconds: **lower is better**. A metric more than
 ``--tolerance`` (default 25 %) above the committed baseline
@@ -65,6 +70,11 @@ WHATIF_NODES = 64
 WHATIF_PAGES = [16, 256, 4096]
 FUZZ_SEEDS = range(1, 21)
 FUZZ_OPS = 25
+#: Serve-turbo gate: the policies whose request streams batch well
+#: (autonuma/replicate are structurally per-request — an attached
+#: scanner / guarded writes — and would only add noise to the gate).
+SERVE_POLICIES = ("static", "move_pages", "nexttouch")
+SERVE_REQUESTS = 4000
 
 
 def _fig4(workers: int) -> None:
@@ -123,12 +133,20 @@ def _fuzz(workers: int) -> None:
             raise SystemExit(f"fuzz corpus seed {seed} failed: {failure.to_json()}")
 
 
+def _serve(workers: int) -> None:
+    from repro.experiments.fig_serve import race
+
+    for policy in SERVE_POLICIES:
+        race(policy, requests=SERVE_REQUESTS, seed=1234)
+
+
 SCENARIOS: dict[str, Callable[[int], None]] = {
     f"fig4.sweep_s@{FIG4_PAGES}": _fig4,
     f"fig5.sweep_s@{FIG5_PAGES}": _fig5,
     f"fig7.sweep_s@{FIG7_PAGES}": _fig7,
     f"whatif.sweep_s@{WHATIF_NODES}x2": _whatif64,
     f"fuzz.corpus_s@{len(FUZZ_SEEDS)}x{FUZZ_OPS}": _fuzz,
+    f"serve.sweep_s@{len(SERVE_POLICIES)}x{SERVE_REQUESTS}": _serve,
 }
 
 #: Scenarios the sharded runner can fan out; the rest always run with

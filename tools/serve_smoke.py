@@ -2,26 +2,35 @@
 """Serving smoke test: one tiny KV policy race, every artifact parsed.
 
 Runs ``repro-experiments serve`` with a 2-tenant, short-stream mix and
-the next-touch policy into a temporary directory, then asserts:
+the next-touch policy into a temporary directory — once with the serve
+turbo path engaged and once forced slow (``REPRO_SLOW_PATH=1``) — then
+asserts:
 
-* the race completes (CLI exit 0) and renders a result table;
+* both races complete (CLI exit 0) and render a result table;
 * the run manifest parses and carries the ``serve`` block with a
   per-policy entry holding a non-empty request count, throughput and a
   numeric p99 (the streams are long enough to clear the quantile
   sample floor — a ``None`` p99 here means the workload shrank below
   what the SLO gate can even observe);
 * per-tenant stats are present and every tenant completed its
-  requests.
+  requests;
+* the turbo and forced-slow manifests are **byte-identical** once the
+  host-dependent fields (wall time, argv paths) are dropped — every
+  simulated observable (latency percentiles, SLO summaries, kernel
+  stats, ledger, telemetry series) must not care which path served
+  the requests.
 
 This is ``make serve-smoke``, part of ``make verify`` — the cheap
 end-to-end proof that the serving stack stays wired: KV server ->
-policy driver -> histograms/SLO gate -> CLI manifest. See
-docs/serving.md.
+policy driver -> histograms/SLO gate -> CLI manifest, and that the
+batching layer (``repro.apps.servops``) never leaks into simulated
+results. See docs/serving.md.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -30,77 +39,124 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
+#: Host-dependent manifest fields, excluded from the turbo-vs-slow
+#: diff: wall time is wall time, and argv embeds the temp directory.
+HOST_FIELDS = ("wall_time_s", "argv")
+
 
 def fail(msg: str) -> None:
     print(f"serve-smoke: FAIL — {msg}", file=sys.stderr)
     raise SystemExit(1)
 
 
+def run_race(out: Path, *, slow: bool) -> dict:
+    """One tiny race into ``out``; returns the parsed manifest."""
+    env = dict(os.environ)
+    env.pop("REPRO_SLOW_PATH", None)
+    if slow:
+        env["REPRO_SLOW_PATH"] = "1"
+    # Work from a bare checkout, like the Makefile: src/ on the path.
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    label = "forced-slow" if slow else "turbo"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "serve",
+            "--tenants",
+            "2",
+            "--requests",
+            "200",
+            "--policies",
+            "nexttouch",
+            "--json",
+            str(out),
+        ],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        fail(f"{label} serve run exited {proc.returncode}")
+    if "req/s" not in proc.stdout:
+        fail(f"{label} serve run printed no result table")
+
+    manifest_path = out / "serve.manifest.json"
+    if not manifest_path.exists():
+        fail(f"{label}: {manifest_path.name} not written")
+    metrics_path = out / "serve.metrics.json"
+    if not metrics_path.exists():
+        fail(f"{label}: {metrics_path.name} not written")
+    json.loads(metrics_path.read_text())
+    return json.loads(manifest_path.read_text())
+
+
+def check_serve_block(manifest: dict) -> dict:
+    """The original single-run assertions; returns the policy stats."""
+    serve = manifest.get("serve")
+    if not serve:
+        fail("manifest has no 'serve' block")
+    if not isinstance(serve.get("slo_us"), float):
+        fail(f"serve block has no numeric slo_us: {serve.get('slo_us')!r}")
+    policies = serve.get("policies") or {}
+    if set(policies) != {"nexttouch"}:
+        fail(f"expected exactly the raced policy, got {sorted(policies)}")
+    stats = policies["nexttouch"]
+    if stats["requests"] != 2 * 2 * 200:
+        fail(f"expected 800 requests, got {stats['requests']}")
+    if not stats["throughput_rps"] or stats["throughput_rps"] <= 0:
+        fail(f"non-positive throughput: {stats['throughput_rps']!r}")
+    p99 = stats["latency_us"]["p99"]
+    if not isinstance(p99, float) or p99 <= 0:
+        fail(f"empty or non-numeric p99: {p99!r}")
+    tenants = stats.get("tenants") or {}
+    if len(tenants) != 2:
+        fail(f"expected 2 tenant stat blocks, got {sorted(tenants)}")
+    for name, tstats in tenants.items():
+        if tstats["requests"] != 2 * 200:
+            fail(f"tenant {name}: {tstats['requests']} != 400 requests")
+        if tstats["latency_us"]["p99"] is None:
+            fail(f"tenant {name}: empty p99 reservoir")
+    return stats
+
+
+def normalize(manifest: dict) -> dict:
+    out = dict(manifest)
+    for field in HOST_FIELDS:
+        out.pop(field, None)
+    return out
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="serve_smoke.") as tmp:
-        out = Path(tmp)
-        proc = subprocess.run(
-            [
-                sys.executable,
-                "-m",
-                "repro.experiments.cli",
-                "serve",
-                "--tenants",
-                "2",
-                "--requests",
-                "200",
-                "--policies",
-                "nexttouch",
-                "--json",
-                str(out),
-            ],
-            cwd=REPO,
-            capture_output=True,
-            text=True,
+        turbo = run_race(Path(tmp) / "turbo", slow=False)
+    with tempfile.TemporaryDirectory(prefix="serve_smoke.") as tmp:
+        slow = run_race(Path(tmp) / "slow", slow=True)
+
+    stats = check_serve_block(turbo)
+    check_serve_block(slow)
+
+    turbo_n, slow_n = normalize(turbo), normalize(slow)
+    if json.dumps(turbo_n, sort_keys=True) != json.dumps(slow_n, sort_keys=True):
+        differing = sorted(
+            key
+            for key in set(turbo_n) | set(slow_n)
+            if json.dumps(turbo_n.get(key), sort_keys=True)
+            != json.dumps(slow_n.get(key), sort_keys=True)
         )
-        if proc.returncode != 0:
-            sys.stderr.write(proc.stderr)
-            fail(f"serve run exited {proc.returncode}")
-        if "req/s" not in proc.stdout:
-            fail("serve run printed no result table")
+        fail(f"turbo vs forced-slow manifests differ in: {', '.join(differing)}")
 
-        manifest_path = out / "serve.manifest.json"
-        if not manifest_path.exists():
-            fail(f"{manifest_path.name} not written")
-        manifest = json.loads(manifest_path.read_text())
-        serve = manifest.get("serve")
-        if not serve:
-            fail("manifest has no 'serve' block")
-        if not isinstance(serve.get("slo_us"), float):
-            fail(f"serve block has no numeric slo_us: {serve.get('slo_us')!r}")
-        policies = serve.get("policies") or {}
-        if set(policies) != {"nexttouch"}:
-            fail(f"expected exactly the raced policy, got {sorted(policies)}")
-        stats = policies["nexttouch"]
-        if stats["requests"] != 2 * 2 * 200:
-            fail(f"expected 800 requests, got {stats['requests']}")
-        if not stats["throughput_rps"] or stats["throughput_rps"] <= 0:
-            fail(f"non-positive throughput: {stats['throughput_rps']!r}")
-        p99 = stats["latency_us"]["p99"]
-        if not isinstance(p99, float) or p99 <= 0:
-            fail(f"empty or non-numeric p99: {p99!r}")
-        tenants = stats.get("tenants") or {}
-        if len(tenants) != 2:
-            fail(f"expected 2 tenant stat blocks, got {sorted(tenants)}")
-        for name, tstats in tenants.items():
-            if tstats["requests"] != 2 * 200:
-                fail(f"tenant {name}: {tstats['requests']} != 400 requests")
-            if tstats["latency_us"]["p99"] is None:
-                fail(f"tenant {name}: empty p99 reservoir")
-
-        metrics_path = out / "serve.metrics.json"
-        if not metrics_path.exists():
-            fail(f"{metrics_path.name} not written")
-        json.loads(metrics_path.read_text())
-
+    p99 = stats["latency_us"]["p99"]
     print(
         f"serve-smoke: OK ({stats['requests']} requests, "
-        f"{stats['throughput_rps']:.0f} req/s, p99 {p99:.2f} us)"
+        f"{stats['throughput_rps']:.0f} req/s, p99 {p99:.2f} us, "
+        "turbo == forced-slow)"
     )
     return 0
 
